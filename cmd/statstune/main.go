@@ -1,0 +1,97 @@
+// Command statstune runs the autotuner (the OpenTuner stage of §II-C)
+// for one or all benchmarks and prints the best configurations — both as
+// a human-readable trajectory and, with -gen, as the Go table shipped in
+// internal/experiments/tuned.go.
+//
+// Usage:
+//
+//	statstune [-benchmarks a,b] [-cores 14,28] [-budget N] [-gen] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gostats/internal/autotune"
+	"gostats/internal/bench"
+	_ "gostats/internal/bench/all"
+	"gostats/internal/experiments"
+	"gostats/internal/rng"
+)
+
+func main() {
+	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark names (default: all)")
+	cores := flag.String("cores", "14,28", "comma-separated core counts")
+	budget := flag.Int("budget", 90, "configurations to evaluate per (benchmark, cores, mode); the paper explored 89-342")
+	gen := flag.Bool("gen", false, "emit the tuned table as Go code")
+	verbose := flag.Bool("v", false, "print the search trajectory")
+	seed := flag.Uint64("seed", 3, "nondeterminism seed")
+	inputSeed := flag.Uint64("input-seed", 1, "input-generation seed")
+	flag.Parse()
+
+	names := bench.Names()
+	if *benchmarks != "" {
+		names = strings.Split(*benchmarks, ",")
+	}
+	var coreCounts []int
+	for _, c := range strings.Split(*cores, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(c))
+		if err != nil || v < 1 {
+			fatalf("invalid core count %q", c)
+		}
+		coreCounts = append(coreCounts, v)
+	}
+
+	if *gen {
+		fmt.Println("var shippedTuned = map[tunedKey]TunedConfig{")
+	}
+	for _, name := range names {
+		b, err := bench.New(name)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		training := b.TrainingInputs(rng.New(*inputSeed))
+		for _, nc := range coreCounts {
+			objective := experiments.TrainingObjective(b, training, nc, *seed)
+			tuneOne := func(label string, maxWidth int, s uint64, seedPoints ...autotune.Point) autotune.Point {
+				space := autotune.DefaultSpace(len(training), nc, maxWidth)
+				res, err := autotune.Tune(space, objective, *budget, s, seedPoints...)
+				if err != nil {
+					fatalf("%v", err)
+				}
+				if *verbose {
+					for _, e := range res.History {
+						fmt.Fprintf(os.Stderr, "  %-12s %-38s cost=%.3g best=%.3g (%s)\n",
+							label, e.Point, e.Cost, e.Best, e.Technique)
+					}
+				}
+				if !*gen {
+					fmt.Printf("%-18s cores=%-3d %-9s best %-38s (%d evals, cost %.4g)\n",
+						name, nc, label, res.Best, res.Evaluations, res.BestCost)
+				}
+				return res.Best
+			}
+			seqBest := tuneOne("seq-stats", 1, *seed)
+			parBest := tuneOne("par-stats", b.MaxInnerWidth(), *seed+1, seqBest)
+			if *gen {
+				fmt.Printf("\t{%q, %d}: {\n", name, nc)
+				fmt.Printf("\t\tSeqSTATS: autotune.Point{Chunks: %d, Lookback: %d, ExtraStates: %d, InnerWidth: %d},\n",
+					seqBest.Chunks, seqBest.Lookback, seqBest.ExtraStates, seqBest.InnerWidth)
+				fmt.Printf("\t\tParSTATS: autotune.Point{Chunks: %d, Lookback: %d, ExtraStates: %d, InnerWidth: %d},\n",
+					parBest.Chunks, parBest.Lookback, parBest.ExtraStates, parBest.InnerWidth)
+				fmt.Printf("\t},\n")
+			}
+		}
+	}
+	if *gen {
+		fmt.Println("}")
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "statstune: "+format+"\n", args...)
+	os.Exit(1)
+}

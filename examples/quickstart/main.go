@@ -1,0 +1,107 @@
+// Quickstart: parallelize a nondeterministic program with the STATS
+// execution model in ~80 lines.
+//
+// The program is a toy stochastic smoother: it folds a stream of noisy
+// samples into an exponentially decaying running estimate. The decay
+// gives it the short-memory property STATS needs — the estimate after
+// input i barely depends on inputs far in the past — so the stream can be
+// chunked and the chunks run speculatively in parallel.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gostats/internal/core"
+	"gostats/internal/machine"
+	"gostats/internal/rng"
+)
+
+// smoother implements core.Program: the semantic part (StateDependence)
+// drives both executors; the cost part (CostModel) is only used by the
+// simulated machine.
+type smoother struct{}
+
+type smootherState struct{ v float64 }
+
+func (smoother) Name() string { return "smoother" }
+
+func (smoother) Initial(r *rng.Stream) core.State { return &smootherState{v: 50} }
+
+// Fresh is the cold state an alternative producer starts from: thanks to
+// the decay, replaying a handful of recent inputs from zero reproduces
+// the running estimate.
+func (smoother) Fresh(r *rng.Stream) core.State { return &smootherState{} }
+
+func (smoother) Update(s core.State, in core.Input, r *rng.Stream) (core.State, core.Output) {
+	st := s.(*smootherState)
+	x := in.(float64)
+	// Nondeterministic update: dithered exponential smoothing.
+	st.v = 0.7*st.v + 0.3*(x+0.05*r.NormFloat64())
+	return st, st.v
+}
+
+func (smoother) Clone(s core.State) core.State { c := *s.(*smootherState); return &c }
+
+func (smoother) Match(a, b core.State) bool {
+	return math.Abs(a.(*smootherState).v-b.(*smootherState).v) < 0.5
+}
+
+func (smoother) StateBytes() int64 { return 8 }
+
+// Cost model: each update charges 200k simulated instructions.
+func (smoother) UpdateCost(core.Input, core.State) core.UpdateWork {
+	return core.UpdateWork{Serial: machine.Work{Instr: 200_000}, Grain: 1}
+}
+func (smoother) CompareCost() machine.Work         { return machine.Work{Instr: 100} }
+func (smoother) SetupWork(chunks int) machine.Work { return machine.Work{Instr: int64(chunks) * 1000} }
+func (smoother) TeardownWork(int) machine.Work     { return machine.Work{Instr: 1000} }
+func (smoother) PreRegionWork() machine.Work       { return machine.Work{Instr: 100_000} }
+func (smoother) PostRegionWork() machine.Work      { return machine.Work{Instr: 100_000} }
+
+func main() {
+	// The input stream: a noisy ramp.
+	inputs := make([]core.Input, 2000)
+	for i := range inputs {
+		inputs[i] = float64(i % 100)
+	}
+	// The short-memory length: the estimate decays by 0.7 per step, and
+	// inputs reach 99, so after k steps the forgotten history contributes
+	// at most 0.7^k * ~200. The Match tolerance is 0.5, so alternative
+	// producers must replay k >= log(400)/log(1/0.7) ~= 17 inputs. A
+	// too-small Lookback here is exactly the paper's mispeculation case
+	// (i): "the length of the short memory property was incorrectly
+	// estimated".
+	cfg := core.Config{Chunks: 8, Lookback: 20, ExtraStates: 2, InnerWidth: 1, Seed: 42}
+
+	// 1. Run natively (real goroutines): the library as an actual
+	//    parallelization runtime.
+	start := time.Now()
+	rep, err := core.Run(core.NewNativeExec(), smoother{}, inputs, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("native:    %d outputs in %v; %d/%d chunks committed, %d aborted\n",
+		len(rep.Outputs), time.Since(start).Round(time.Microsecond), rep.Commits, rep.Chunks, rep.Aborts)
+
+	// 2. Run on the simulated machine to measure the speedup the model
+	//    would deliver on an 8-core platform.
+	simTime := func(fn func(ex core.Exec)) int64 {
+		m := machine.New(machine.DefaultConfig(8))
+		if err := m.Run("main", func(th *machine.Thread) { fn(core.NewSimExec(th)) }); err != nil {
+			panic(err)
+		}
+		return m.Now()
+	}
+	seq := simTime(func(ex core.Exec) { core.RunSequential(ex, smoother{}, inputs, 42) })
+	par := simTime(func(ex core.Exec) {
+		if _, err := core.Run(ex, smoother{}, inputs, cfg); err != nil {
+			panic(err)
+		}
+	})
+	fmt.Printf("simulated: sequential %.1fM cycles, STATS %.1fM cycles -> speedup %.2fx on 8 cores\n",
+		float64(seq)/1e6, float64(par)/1e6, float64(seq)/float64(par))
+}

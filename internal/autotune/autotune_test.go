@@ -1,0 +1,244 @@
+package autotune
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testSpace() Space {
+	return Space{
+		ChunkCandidates: []int{1, 2, 4, 7, 14, 28},
+		MaxLookback:     16,
+		MaxExtraStates:  3,
+		WidthCandidates: []int{1, 2, 4},
+	}
+}
+
+// bowl is a synthetic objective with a unique optimum.
+func bowl(opt Point) Objective {
+	return func(p Point) float64 {
+		d := 0.0
+		d += math.Abs(float64(p.Chunks - opt.Chunks))
+		d += math.Abs(float64(p.Lookback-opt.Lookback)) * 0.5
+		d += math.Abs(float64(p.ExtraStates-opt.ExtraStates)) * 2
+		d += math.Abs(float64(p.InnerWidth-opt.InnerWidth)) * 3
+		return 100 + d
+	}
+}
+
+func TestTuneFindsOptimum(t *testing.T) {
+	opt := Point{Chunks: 14, Lookback: 6, ExtraStates: 1, InnerWidth: 2}
+	res, err := Tune(testSpace(), bowl(opt), 250, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != opt {
+		t.Fatalf("Tune found %v (cost %g), want %v", res.Best, res.BestCost, opt)
+	}
+}
+
+func TestTuneRespectsBudget(t *testing.T) {
+	calls := 0
+	obj := func(p Point) float64 { calls++; return float64(p.Chunks) }
+	res, err := Tune(testSpace(), obj, 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls > 40 || res.Evaluations > 40 {
+		t.Fatalf("budget exceeded: %d calls, %d evaluations", calls, res.Evaluations)
+	}
+	if len(res.History) != res.Evaluations {
+		t.Fatalf("history length %d != evaluations %d", len(res.History), res.Evaluations)
+	}
+}
+
+func TestTuneNeverEvaluatesDuplicates(t *testing.T) {
+	seen := map[Point]bool{}
+	obj := func(p Point) float64 {
+		if seen[p] {
+			t.Fatalf("duplicate evaluation of %v", p)
+		}
+		seen[p] = true
+		return float64(p.Lookback)
+	}
+	if _, err := Tune(testSpace(), obj, 300, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTuneExhaustsSmallSpace(t *testing.T) {
+	space := Space{
+		ChunkCandidates: []int{1, 2},
+		MaxLookback:     2,
+		MaxExtraStates:  1,
+		WidthCandidates: []int{1},
+	}
+	res, err := Tune(space, func(p Point) float64 { return float64(p.Chunks + p.Lookback) }, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != space.Size() {
+		t.Fatalf("evaluated %d of %d points", res.Evaluations, space.Size())
+	}
+	if res.Best != (Point{Chunks: 1, Lookback: 1, ExtraStates: 0, InnerWidth: 1}) &&
+		res.Best != (Point{Chunks: 1, Lookback: 1, ExtraStates: 1, InnerWidth: 1}) {
+		t.Fatalf("best = %v", res.Best)
+	}
+}
+
+func TestTuneDeterministic(t *testing.T) {
+	opt := Point{Chunks: 7, Lookback: 3, ExtraStates: 2, InnerWidth: 1}
+	a, err := Tune(testSpace(), bowl(opt), 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Tune(testSpace(), bowl(opt), 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best != b.Best || a.BestCost != b.BestCost || len(a.History) != len(b.History) {
+		t.Fatal("same-seed tuning sessions diverged")
+	}
+	for i := range a.History {
+		if a.History[i].Point != b.History[i].Point {
+			t.Fatalf("histories diverge at step %d", i)
+		}
+	}
+}
+
+func TestHistoryBestMonotone(t *testing.T) {
+	res, err := Tune(testSpace(), bowl(Point{Chunks: 4, Lookback: 10, ExtraStates: 0, InnerWidth: 4}), 150, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for i, e := range res.History {
+		if e.Best > prev {
+			t.Fatalf("best-so-far increased at step %d: %g -> %g", i, prev, e.Best)
+		}
+		prev = e.Best
+	}
+	if prev != res.BestCost {
+		t.Fatalf("final history best %g != BestCost %g", prev, res.BestCost)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Tune(Space{}, func(Point) float64 { return 0 }, 10, 1); err == nil {
+		t.Fatal("empty space accepted")
+	}
+	if _, err := Tune(testSpace(), func(Point) float64 { return 0 }, 0, 1); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	bad := testSpace()
+	bad.MaxLookback = 0
+	if _, err := Tune(bad, func(Point) float64 { return 0 }, 10, 1); err == nil {
+		t.Fatal("zero lookback bound accepted")
+	}
+}
+
+func TestDefaultSpace(t *testing.T) {
+	s := DefaultSpace(600, 28, 8)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range s.ChunkCandidates {
+		if c > 600 || c > 280 {
+			t.Fatalf("chunk candidate %d out of bounds", c)
+		}
+	}
+	for _, w := range s.WidthCandidates {
+		if w > 8 {
+			t.Fatalf("width candidate %d exceeds program's max", w)
+		}
+	}
+	// A tiny input stream must still produce a valid space.
+	tiny := DefaultSpace(1, 28, 1)
+	if err := tiny.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tiny.ChunkCandidates) != 1 || tiny.ChunkCandidates[0] != 1 {
+		t.Fatalf("tiny space chunks = %v", tiny.ChunkCandidates)
+	}
+}
+
+func TestSpaceContains(t *testing.T) {
+	s := testSpace()
+	if !s.Contains(Point{Chunks: 7, Lookback: 1, ExtraStates: 0, InnerWidth: 2}) {
+		t.Fatal("valid point rejected")
+	}
+	bad := []Point{
+		{Chunks: 3, Lookback: 1, ExtraStates: 0, InnerWidth: 1},  // 3 not a candidate
+		{Chunks: 7, Lookback: 0, ExtraStates: 0, InnerWidth: 1},  // lookback 0
+		{Chunks: 7, Lookback: 99, ExtraStates: 0, InnerWidth: 1}, // lookback over
+		{Chunks: 7, Lookback: 1, ExtraStates: 9, InnerWidth: 1},  // extras over
+		{Chunks: 7, Lookback: 1, ExtraStates: 0, InnerWidth: 3},  // width not a candidate
+	}
+	for _, p := range bad {
+		if s.Contains(p) {
+			t.Fatalf("invalid point accepted: %v", p)
+		}
+	}
+}
+
+func TestPropertyBestIsMinimumOfHistory(t *testing.T) {
+	f := func(seed uint64, budget8 uint8) bool {
+		budget := int(budget8%60) + 5
+		res, err := Tune(testSpace(), func(p Point) float64 {
+			return float64((p.Chunks*31+p.Lookback*17+p.ExtraStates*7+p.InnerWidth)%97) + 1
+		}, budget, seed)
+		if err != nil {
+			return false
+		}
+		min := math.Inf(1)
+		for _, e := range res.History {
+			if e.Cost < min {
+				min = e.Cost
+			}
+		}
+		return min == res.BestCost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedPointsEvaluatedFirst(t *testing.T) {
+	var first []Point
+	obj := func(p Point) float64 {
+		if len(first) < 2 {
+			first = append(first, p)
+		}
+		return float64(p.Chunks)
+	}
+	sp := Point{Chunks: 28, Lookback: 5, ExtraStates: 1, InnerWidth: 2}
+	res, err := Tune(testSpace(), obj, 30, 1, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 || first[0] != sp {
+		t.Fatalf("seed point not evaluated first: %v", first)
+	}
+	if res.Evaluations > 30 {
+		t.Fatal("budget exceeded")
+	}
+}
+
+func TestSeedPointsOutsideSpaceIgnored(t *testing.T) {
+	bad := Point{Chunks: 3, Lookback: 1, ExtraStates: 0, InnerWidth: 1} // 3 not a candidate
+	calls := 0
+	obj := func(p Point) float64 {
+		calls++
+		if p == bad {
+			t.Fatal("out-of-space seed point evaluated")
+		}
+		return 1
+	}
+	if _, err := Tune(testSpace(), obj, 10, 1, bad); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("nothing evaluated")
+	}
+}

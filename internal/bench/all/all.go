@@ -1,0 +1,15 @@
+// Package all registers every benchmark of the suite. Import it for side
+// effects from tools, experiments, and tests that want the full registry.
+package all
+
+import (
+	// The six workloads of §IV-C, plus fluidanimate — the benchmark the
+	// paper evaluated and excluded (STATS gains nothing on it).
+	_ "gostats/internal/bench/bodytrack"
+	_ "gostats/internal/bench/facedetrack"
+	_ "gostats/internal/bench/facetrack"
+	_ "gostats/internal/bench/fluidanimate"
+	_ "gostats/internal/bench/streamclassifier"
+	_ "gostats/internal/bench/streamcluster"
+	_ "gostats/internal/bench/swaptions"
+)

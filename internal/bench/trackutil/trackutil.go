@@ -1,0 +1,336 @@
+// Package trackutil provides the shared substrate of the three tracking
+// benchmarks (bodytrack, facetrack, facedet-and-track): synthetic
+// observation sequences standing in for the paper's image/video inputs,
+// and a generic particle filter standing in for the PARSEC/OpenCV
+// trackers.
+//
+// The substitution preserves what the paper's characterization depends
+// on: per-frame nondeterministic state updates (random particle
+// propagation and resampling), the short-memory property (the filter
+// locks onto the observed target within a few well-observed frames,
+// forgetting its initialization), and occlusion segments during which
+// observations carry no information — the regime where speculative
+// states diverge and STATS mispeculates.
+package trackutil
+
+import (
+	"math"
+	"sync/atomic"
+
+	"gostats/internal/memsim"
+	"gostats/internal/rng"
+)
+
+// Frame is one synthetic video frame: a noisy observation of the hidden
+// target pose plus ground truth for quality scoring.
+type Frame struct {
+	Index int
+	// Obs is the observed pose measurement.
+	Obs []float64
+	// True is the hidden ground-truth pose.
+	True []float64
+	// Quality in [0,1] is the observation informativeness; ~0 during
+	// occlusion.
+	Quality float64
+	// Occluded marks frames where the target is not visible.
+	Occluded bool
+}
+
+// TrajConfig shapes a synthetic sequence.
+type TrajConfig struct {
+	Frames int
+	Dims   int
+	// Speed is the per-frame ground-truth velocity scale.
+	Speed float64
+	// ObsNoise is the measurement noise standard deviation.
+	ObsNoise float64
+	// Occlusions is the number of occlusion segments; each lasts between
+	// OccMin and OccMax frames.
+	Occlusions     int
+	OccMin, OccMax int
+}
+
+// GenTrajectory produces a smooth random-walk trajectory with occlusion
+// segments spread evenly through the sequence.
+func GenTrajectory(r *rng.Stream, cfg TrajConfig) []Frame {
+	pos := make([]float64, cfg.Dims)
+	vel := make([]float64, cfg.Dims)
+	occluded := make([]bool, cfg.Frames)
+	if cfg.Occlusions > 0 {
+		gap := cfg.Frames / (cfg.Occlusions + 1)
+		for o := 1; o <= cfg.Occlusions; o++ {
+			ln := cfg.OccMin
+			if cfg.OccMax > cfg.OccMin {
+				ln += r.Intn(cfg.OccMax - cfg.OccMin + 1)
+			}
+			start := o*gap - ln/2
+			if gap > 4 {
+				start += r.Intn(gap/2+1) - gap/4
+			}
+			for f := start; f < start+ln && f < cfg.Frames; f++ {
+				if f >= 0 {
+					occluded[f] = true
+				}
+			}
+		}
+	}
+	frames := make([]Frame, cfg.Frames)
+	for f := 0; f < cfg.Frames; f++ {
+		for d := 0; d < cfg.Dims; d++ {
+			vel[d] = 0.92*vel[d] + cfg.Speed*0.4*r.NormFloat64()
+			pos[d] += vel[d]
+		}
+		fr := Frame{
+			Index:   f,
+			Obs:     make([]float64, cfg.Dims),
+			True:    append([]float64(nil), pos...),
+			Quality: 1,
+		}
+		if occluded[f] {
+			fr.Occluded = true
+			fr.Quality = 0.02
+		}
+		for d := 0; d < cfg.Dims; d++ {
+			fr.Obs[d] = pos[d] + cfg.ObsNoise*r.NormFloat64()
+		}
+		frames[f] = fr
+	}
+	return frames
+}
+
+// idCounter hands out state identities for cache-region naming.
+var idCounter atomic.Int64
+
+// Cloud is a particle cloud: the computational state of a tracker.
+type Cloud struct {
+	// P is particles*dims flattened.
+	P    []float64
+	W    []float64
+	N    int
+	Dims int
+	// ID names this state's memory region (stable cache addresses per
+	// live state; a clone gets a new ID, which is how STATS's extra
+	// states show up as locality loss in the cache simulator).
+	ID int64
+	// Age counts updates since the cloud was created or reset.
+	Age int
+	// Cold marks a cloud that has not yet locked onto the target. Real
+	// trackers initialize cold filters from image evidence (likelihood-
+	// based proposals); Step does the same on the first well-observed
+	// frame. A cold cloud stays cold through occlusions — the mechanism
+	// behind mispeculation at occluded chunk boundaries.
+	Cold bool
+}
+
+// NewCloud creates a cloud of n particles spread around center with the
+// given standard deviation (a wide spread models a cold tracker).
+func NewCloud(n, dims int, center []float64, spread float64, r *rng.Stream) *Cloud {
+	c := &Cloud{
+		P:    make([]float64, n*dims),
+		W:    make([]float64, n),
+		N:    n,
+		Dims: dims,
+		ID:   idCounter.Add(1),
+	}
+	for i := 0; i < n; i++ {
+		for d := 0; d < dims; d++ {
+			base := 0.0
+			if center != nil {
+				base = center[d]
+			}
+			c.P[i*dims+d] = base + spread*r.NormFloat64()
+		}
+		c.W[i] = 1 / float64(n)
+	}
+	c.Cold = spread > 0.5
+	return c
+}
+
+// Clone deep-copies the cloud, assigning a fresh region ID.
+func (c *Cloud) Clone() *Cloud {
+	return &Cloud{
+		P:    append([]float64(nil), c.P...),
+		W:    append([]float64(nil), c.W...),
+		N:    c.N,
+		Dims: c.Dims,
+		ID:   idCounter.Add(1),
+		Age:  c.Age,
+		Cold: c.Cold,
+	}
+}
+
+// Step runs one predict-weight-resample cycle against the frame and
+// returns the posterior mean estimate.
+func (c *Cloud) Step(fr Frame, procNoise, obsNoise float64, r *rng.Stream) []float64 {
+	return c.StepT(fr, procNoise, obsNoise, 1, r)
+}
+
+// StepT is Step with a likelihood temperature: the weighting uses
+// obsNoise*temper as its standard deviation while proposals (cold
+// initialization and observation injection) keep the true obsNoise
+// scale. High-dimensional trackers anneal with temper > 1 to avoid
+// weight degeneracy.
+func (c *Cloud) StepT(fr Frame, procNoise, obsNoise, temper float64, r *rng.Stream) []float64 {
+	dims := c.Dims
+	if c.Cold && fr.Quality > 0.5 {
+		// Likelihood-based initialization: a cold tracker proposes its
+		// particles from the observation on the first informative frame.
+		for i := 0; i < c.N; i++ {
+			for d := 0; d < dims; d++ {
+				c.P[i*dims+d] = fr.Obs[d] + 4*obsNoise*r.NormFloat64()
+			}
+			c.W[i] = 1 / float64(c.N)
+		}
+		c.Cold = false
+	}
+	// Predict: diffuse particles. The diffusion proposal uses a
+	// variance-matched uniform (sqrt(3)*sigma half-width) — proposal
+	// shape is a modelling choice and uniform draws are several times
+	// cheaper than Gaussians for the N*dims bulk. On informative frames a
+	// fraction of particles is then proposed from the observation (the
+	// annealing / importance-proposal step real trackers use to survive
+	// fast motion and recover after occlusions).
+	diffuse := procNoise * 3.4641016151377544 // 2*sqrt(3)*sigma over [0,1)
+	for i := range c.P {
+		c.P[i] += diffuse * (r.Float64() - 0.5)
+	}
+	if fr.Quality > 0.5 {
+		inject := c.N / 5
+		for j := 0; j < inject; j++ {
+			i := r.Intn(c.N)
+			for d := 0; d < dims; d++ {
+				c.P[i*dims+d] = fr.Obs[d] + 1.5*obsNoise*r.NormFloat64()
+			}
+		}
+	}
+	// Weight: tempered Gaussian likelihood, flattened by observation
+	// quality.
+	sigmaE := obsNoise * temper
+	inv := fr.Quality / (2 * sigmaE * sigmaE)
+	var maxLogW float64 = math.Inf(-1)
+	logw := make([]float64, c.N)
+	for i := 0; i < c.N; i++ {
+		var d2 float64
+		for d := 0; d < dims; d++ {
+			diff := c.P[i*dims+d] - fr.Obs[d]
+			d2 += diff * diff
+		}
+		logw[i] = -d2 * inv
+		if logw[i] > maxLogW {
+			maxLogW = logw[i]
+		}
+	}
+	var sum float64
+	for i := 0; i < c.N; i++ {
+		c.W[i] = math.Exp(logw[i] - maxLogW)
+		sum += c.W[i]
+	}
+	for i := 0; i < c.N; i++ {
+		c.W[i] /= sum
+	}
+	est := c.Estimate()
+	// Systematic resampling with a random phase (the tracker's
+	// nondeterminism).
+	c.resample(r)
+	c.Age++
+	return est
+}
+
+// Estimate returns the weighted mean pose.
+func (c *Cloud) Estimate() []float64 {
+	est := make([]float64, c.Dims)
+	for i := 0; i < c.N; i++ {
+		w := c.W[i]
+		for d := 0; d < c.Dims; d++ {
+			est[d] += w * c.P[i*c.Dims+d]
+		}
+	}
+	return est
+}
+
+// Spread returns the root-mean-square particle distance from the mean, a
+// measure of tracker lock.
+func (c *Cloud) Spread() float64 {
+	est := c.Estimate()
+	var sum float64
+	for i := 0; i < c.N; i++ {
+		for d := 0; d < c.Dims; d++ {
+			diff := c.P[i*c.Dims+d] - est[d]
+			sum += diff * diff
+		}
+	}
+	return math.Sqrt(sum / float64(c.N))
+}
+
+// Recenter collapses the cloud tightly around a pose (used by the
+// detector in facedet-and-track).
+func (c *Cloud) Recenter(pose []float64, spread float64, r *rng.Stream) {
+	for i := 0; i < c.N; i++ {
+		for d := 0; d < c.Dims; d++ {
+			c.P[i*c.Dims+d] = pose[d] + spread*r.NormFloat64()
+		}
+		c.W[i] = 1 / float64(c.N)
+	}
+	c.Cold = false
+	c.Age++
+}
+
+func (c *Cloud) resample(r *rng.Stream) {
+	n := c.N
+	newP := make([]float64, len(c.P))
+	step := 1.0 / float64(n)
+	u := r.Float64() * step
+	var cum float64
+	j := 0
+	for i := 0; i < n; i++ {
+		target := u + float64(i)*step
+		for cum+c.W[j] < target && j < n-1 {
+			cum += c.W[j]
+			j++
+		}
+		copy(newP[i*c.Dims:(i+1)*c.Dims], c.P[j*c.Dims:(j+1)*c.Dims])
+	}
+	c.P = newP
+	for i := range c.W {
+		c.W[i] = step
+	}
+}
+
+// Dist returns the Euclidean distance between two poses.
+func Dist(a, b []float64) float64 {
+	var sum float64
+	for d := range a {
+		diff := a[d] - b[d]
+		sum += diff * diff
+	}
+	return math.Sqrt(sum)
+}
+
+// StateProfile instantiates an access profile whose state region is named
+// by the cloud's identity, so distinct live states occupy distinct cache
+// lines in the memory simulator.
+func StateProfile(base memsim.AccessProfile, stateName string, id int64, stateBytes int64) *memsim.AccessProfile {
+	p := base
+	p.Regions = append([]memsim.RegionRef(nil), base.Regions...)
+	for i := range p.Regions {
+		if p.Regions[i].Name == "$state" {
+			p.Regions[i].Name = stateName + string(rune('a'+id%26)) + itoa(id)
+			p.Regions[i].Bytes = stateBytes
+		}
+	}
+	return &p
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

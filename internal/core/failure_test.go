@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gostats/internal/machine"
+	"gostats/internal/rng"
+)
+
+// faultyProg wraps toyProg and injects failures at chosen points.
+type faultyProg struct {
+	*toyProg
+	panicOnUpdate  int // panic on the nth Update call (0 = never)
+	panicInMatch   bool
+	panicInClone   bool
+	updates        int
+	badCostNegInst bool
+}
+
+func (f *faultyProg) Update(s State, in Input, r *rng.Stream) (State, Output) {
+	f.updates++
+	if f.panicOnUpdate > 0 && f.updates == f.panicOnUpdate {
+		panic("injected update failure")
+	}
+	return f.toyProg.Update(s, in, r)
+}
+
+func (f *faultyProg) Match(a, b State) bool {
+	if f.panicInMatch {
+		panic("injected match failure")
+	}
+	return f.toyProg.Match(a, b)
+}
+
+func (f *faultyProg) Clone(s State) State {
+	if f.panicInClone {
+		panic("injected clone failure")
+	}
+	return f.toyProg.Clone(s)
+}
+
+func (f *faultyProg) UpdateCost(in Input, s State) UpdateWork {
+	uw := f.toyProg.UpdateCost(in, s)
+	if f.badCostNegInst {
+		uw.Serial.Instr = -5
+	}
+	return uw
+}
+
+// runFaulty executes the STATS model on the simulated machine and returns
+// the machine error (the runtime must never hang on injected failures).
+func runFaulty(t *testing.T, f *faultyProg, cfg Config) error {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(4))
+	return m.Run("main", func(th *machine.Thread) {
+		_, err := Run(NewSimExec(th), f, toyInputs(40), cfg)
+		if err != nil {
+			panic(err)
+		}
+	})
+}
+
+func TestUpdatePanicInWorkerPropagates(t *testing.T) {
+	f := &faultyProg{toyProg: easyProg(), panicOnUpdate: 15}
+	err := runFaulty(t, f, Config{Chunks: 4, Lookback: 4, ExtraStates: 1, InnerWidth: 1, Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "injected update failure") {
+		t.Fatalf("worker panic not propagated: %v", err)
+	}
+}
+
+func TestUpdatePanicInAltProducerPropagates(t *testing.T) {
+	// The very first updates of a non-first worker run in its alternative
+	// producer; panic there must surface too.
+	f := &faultyProg{toyProg: easyProg(), panicOnUpdate: 2}
+	err := runFaulty(t, f, Config{Chunks: 4, Lookback: 4, ExtraStates: 1, InnerWidth: 1, Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "injected update failure") {
+		t.Fatalf("alt-producer panic not propagated: %v", err)
+	}
+}
+
+func TestMatchPanicPropagates(t *testing.T) {
+	f := &faultyProg{toyProg: easyProg(), panicInMatch: true}
+	err := runFaulty(t, f, Config{Chunks: 3, Lookback: 3, ExtraStates: 0, InnerWidth: 1, Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "injected match failure") {
+		t.Fatalf("match panic not propagated: %v", err)
+	}
+}
+
+func TestClonePanicPropagates(t *testing.T) {
+	f := &faultyProg{toyProg: easyProg(), panicInClone: true}
+	err := runFaulty(t, f, Config{Chunks: 3, Lookback: 3, ExtraStates: 1, InnerWidth: 1, Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "injected clone failure") {
+		t.Fatalf("clone panic not propagated: %v", err)
+	}
+}
+
+func TestNegativeCostPanicsDeterministically(t *testing.T) {
+	f := &faultyProg{toyProg: easyProg(), badCostNegInst: true}
+	err := runFaulty(t, f, Config{Chunks: 2, Lookback: 2, ExtraStates: 0, InnerWidth: 1, Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "negative instruction count") {
+		t.Fatalf("negative cost not caught: %v", err)
+	}
+}
+
+func TestGangHelperPanicPropagates(t *testing.T) {
+	// Panic during a gang-parallel update (the helper threads are live).
+	f := &faultyProg{toyProg: easyProg(), panicOnUpdate: 10}
+	f.parInstr = 50_000
+	f.grain = 4
+	err := runFaulty(t, f, Config{Chunks: 2, Lookback: 2, ExtraStates: 0, InnerWidth: 3, Seed: 1})
+	if err == nil || !strings.Contains(err.Error(), "injected update failure") {
+		t.Fatalf("gang-mode panic not propagated: %v", err)
+	}
+}

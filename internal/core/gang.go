@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"gostats/internal/machine"
+	"gostats/internal/rng"
+	"gostats/internal/trace"
+)
+
+// gang is a persistent worker pool implementing the program's *original*
+// TLP inside one STATS chunk: each update's parallel part is split across
+// the gang with a condvar barrier per update, the way the PARSEC pthread
+// versions fork/join worker threads per frame. The per-update kernel
+// round-trips are what makes the original TLP's synchronization overhead
+// emerge in the simulation.
+type gang struct {
+	width   int
+	mu      Mutex
+	start   Cond
+	doneCv  Cond
+	epoch   int64
+	shares  []machine.Work
+	cat     trace.Category
+	done    int
+	active  int
+	stop    bool
+	handles []Handle
+}
+
+// newGang spawns width-1 helper threads. A width of 1 returns nil (no
+// gang needed).
+func newGang(ex Exec, name string, width int, counter func()) *gang {
+	if width <= 1 {
+		return nil
+	}
+	g := &gang{
+		width:  width,
+		mu:     ex.NewMutex(),
+		shares: make([]machine.Work, width-1),
+		cat:    trace.CatChunkWork,
+	}
+	g.start = ex.NewCond(g.mu)
+	g.doneCv = ex.NewCond(g.mu)
+	for i := 0; i < width-1; i++ {
+		i := i
+		h := ex.Spawn(fmt.Sprintf("%s-g%d", name, i), func(he Exec) { g.helper(he, i) })
+		g.handles = append(g.handles, h)
+		if counter != nil {
+			counter()
+		}
+	}
+	return g
+}
+
+func (g *gang) helper(he Exec, i int) {
+	var seen int64
+	g.mu.Lock(he)
+	for {
+		for g.epoch == seen && !g.stop {
+			g.start.Wait(he)
+		}
+		if g.stop {
+			g.mu.Unlock(he)
+			return
+		}
+		seen = g.epoch
+		w := g.shares[i]
+		cat := g.cat
+		g.mu.Unlock(he)
+		he.SetCat(cat)
+		he.Compute(w)
+		g.mu.Lock(he)
+		g.done++
+		if g.done == g.active {
+			g.doneCv.Signal(he)
+		}
+	}
+}
+
+// run executes one update's cost through the gang: the serial part on the
+// master, the parallel part split across min(width, Grain) contexts with
+// per-share jitter (input-dependent latency variation, a §III-A imbalance
+// source).
+func (g *gang) run(ex Exec, uw UpdateWork, cat trace.Category, jit *rng.Stream, jitterAmt float64) {
+	ex.SetCat(cat)
+	ex.Compute(uw.Serial)
+	w := uw.Grain
+	if w < 1 {
+		w = 1
+	}
+	if g == nil || w == 1 {
+		ex.Compute(uw.Parallel)
+		return
+	}
+	if w > g.width {
+		w = g.width
+	}
+	per := uw.Parallel.Instr / int64(w)
+	g.mu.Lock(ex)
+	g.cat = cat
+	g.active = g.width - 1
+	for i := range g.shares {
+		if i < w-1 {
+			share := uw.Parallel
+			share.Instr = int64(jit.Jitter(float64(per), jitterAmt))
+			g.shares[i] = share
+		} else {
+			g.shares[i] = machine.Work{}
+		}
+	}
+	g.epoch++
+	g.done = 0
+	g.start.Broadcast(ex)
+	g.mu.Unlock(ex)
+
+	my := uw.Parallel
+	my.Instr = int64(jit.Jitter(float64(per), jitterAmt))
+	ex.Compute(my)
+
+	g.mu.Lock(ex)
+	for g.done < g.active {
+		g.doneCv.Wait(ex)
+	}
+	g.mu.Unlock(ex)
+}
+
+// close stops and joins the helpers.
+func (g *gang) close(ex Exec) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock(ex)
+	g.stop = true
+	g.start.Broadcast(ex)
+	g.mu.Unlock(ex)
+	for _, h := range g.handles {
+		ex.Join(h)
+	}
+}

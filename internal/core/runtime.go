@@ -1,0 +1,375 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"gostats/internal/rng"
+	"gostats/internal/trace"
+)
+
+// decision is the commit status of a chunk.
+type decision int
+
+const (
+	decisionPending decision = iota
+	decisionCommit
+	decisionAbort
+)
+
+// slot carries the cross-chunk coordination state for one chunk: the
+// speculative state its worker publishes for checking, and the commit
+// decision (plus recovery state) its predecessor publishes back.
+type slot struct {
+	mu Mutex
+	cv Cond
+
+	spec      State
+	specReady bool
+
+	dec       decision
+	trueFinal State
+	srcLoc    int
+}
+
+// run holds one execution of the STATS model.
+type run struct {
+	prog   Program
+	cfg    Config
+	inputs []Input
+	bounds [][2]int
+	slots  []*slot
+	outs   [][]Output
+	root   *rng.Stream
+
+	threads atomic.Int64
+	states  atomic.Int64
+	commits atomic.Int64
+	aborts  atomic.Int64
+}
+
+// Run executes the STATS execution model for p over inputs on the given
+// executor, returning the ordered outputs and resource/commit statistics.
+// Must be called from an executor context (for SimExec, from inside
+// machine.Run).
+func Run(ex Exec, p Program, inputs []Input, cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("core: empty input stream")
+	}
+	rt := &run{
+		prog:   p,
+		cfg:    cfg,
+		inputs: inputs,
+		bounds: partition(len(inputs), cfg.Chunks),
+		root:   rng.New(cfg.Seed).Derive("stats:" + p.Name()),
+	}
+	chunks := len(rt.bounds)
+	rt.slots = make([]*slot, chunks)
+	rt.outs = make([][]Output, chunks)
+
+	// --- Sequential code before the STATS region (§III-D). ---
+	ex.SetCat(trace.CatSeqCode)
+	ex.Compute(p.PreRegionWork())
+
+	// --- Setup: allocate runtime structures, prepare the initial state
+	// (first state copy of Fig. 6 happens here). ---
+	ex.SetCat(trace.CatSetup)
+	ex.Compute(p.SetupWork(chunks))
+	for j := range rt.slots {
+		mu := ex.NewMutex()
+		rt.slots[j] = &slot{mu: mu, cv: ex.NewCond(mu), srcLoc: -1}
+	}
+	rt.slots[0].dec = decisionCommit
+	initial := p.Initial(rt.root.Derive("init"))
+	rt.states.Add(1)
+	ex.Copy(p.StateBytes(), -1, p.Name()+".init")
+	rt.states.Add(1) // the copy handed to the first worker
+
+	// --- Spawn one worker per chunk. ---
+	ex.SetCat(trace.CatChunkWork)
+	handles := make([]Handle, chunks)
+	for j := 0; j < chunks; j++ {
+		j := j
+		var start State
+		if j == 0 {
+			start = initial
+		}
+		handles[j] = ex.Spawn(fmt.Sprintf("%s-w%d", p.Name(), j), func(we Exec) {
+			rt.worker(we, j, start)
+		})
+		rt.threads.Add(1)
+	}
+	for _, h := range handles {
+		ex.Join(h)
+	}
+
+	// --- Teardown and post-region sequential code. ---
+	ex.SetCat(trace.CatSetup)
+	ex.Compute(p.TeardownWork(chunks))
+	ex.SetCat(trace.CatSeqCode)
+	ex.Compute(p.PostRegionWork())
+
+	rep := &Report{
+		Chunks:         chunks,
+		Commits:        int(rt.commits.Load()),
+		Aborts:         int(rt.aborts.Load()),
+		ThreadsCreated: int(rt.threads.Load()),
+		StatesCreated:  int(rt.states.Load()),
+		StateBytes:     p.StateBytes(),
+	}
+	for _, outs := range rt.outs {
+		rep.Outputs = append(rep.Outputs, outs...)
+	}
+	return rep, nil
+}
+
+// chunkInputs returns chunk j's input slice.
+func (rt *run) chunkInputs(j int) []Input {
+	b := rt.bounds[j]
+	return rt.inputs[b[0]:b[1]]
+}
+
+// window returns the last min(Lookback, len) inputs of chunk j: the
+// inputs replayed both by chunk j's original-state replicas and by chunk
+// j+1's alternative producer.
+func (rt *run) window(j int) []Input {
+	c := rt.chunkInputs(j)
+	k := rt.cfg.Lookback
+	if k > len(c) {
+		k = len(c)
+	}
+	return c[len(c)-k:]
+}
+
+// worker runs the lifecycle of chunk j (§II-B and Fig. 5 of the paper).
+func (rt *run) worker(ex Exec, j int, start State) {
+	p := rt.prog
+	myRng := rt.root.DeriveN("worker", j)
+	jit := myRng.Derive("jitter")
+	g := newGang(ex, fmt.Sprintf("%s-w%d", p.Name(), j), rt.cfg.InnerWidth,
+		func() { rt.threads.Add(1) })
+	defer func() {
+		if g != nil {
+			g.close(ex)
+		}
+	}()
+
+	last := j == len(rt.bounds)-1
+	s := start
+
+	if j > 0 {
+		// Alternative producer: build the speculative start state by
+		// replaying only the last k inputs of the previous chunk from a
+		// cold state (§III-B "Generating speculative states").
+		ex.SetCat(trace.CatAltProducer)
+		s = p.Fresh(myRng.Derive("fresh"))
+		rt.states.Add(1)
+		apRng := myRng.Derive("altprod")
+		for _, in := range rt.window(j - 1) {
+			uw := p.UpdateCost(in, s)
+			s, _ = p.Update(s, in, apRng)
+			ex.SetCat(trace.CatAltProducer)
+			ex.Compute(uw.Serial)
+			ex.Compute(uw.Parallel)
+		}
+		// Publish a copy of the speculative state so the predecessor can
+		// check it while this worker speculatively computes the chunk.
+		spec := p.Clone(s)
+		rt.states.Add(1)
+		ex.Copy(p.StateBytes(), ex.Loc(), p.Name()+".spec")
+		sl := rt.slots[j]
+		sl.mu.Lock(ex)
+		sl.spec = spec
+		sl.specReady = true
+		sl.cv.Broadcast(ex)
+		sl.mu.Unlock(ex)
+	}
+
+	// Speculatively (for j > 0) process the chunk.
+	outs, snapshot, final := rt.processChunk(ex, g, j, s, myRng.Derive("body"), jit, trace.CatChunkWork)
+
+	var origs []State
+	if !last {
+		origs = rt.genOrigStates(ex, j, snapshot, final, myRng)
+	}
+
+	// Wait for this chunk's own commit decision (program order).
+	if j > 0 {
+		sl := rt.slots[j]
+		sl.mu.Lock(ex)
+		for sl.dec == decisionPending {
+			sl.cv.Wait(ex)
+		}
+		dec, tf, srcLoc := sl.dec, sl.trueFinal, sl.srcLoc
+		sl.mu.Unlock(ex)
+		if dec == decisionAbort {
+			// Mispeculation (§III-E): rerun the chunk from the true state
+			// produced by the predecessor.
+			rt.aborts.Add(1)
+			s2 := p.Clone(tf)
+			rt.states.Add(1)
+			ex.Copy(p.StateBytes(), srcLoc, p.Name()+".recover")
+			outs, snapshot, final = rt.processChunk(ex, g, j, s2, myRng.Derive("reexec"), jit, trace.CatReexec)
+			if !last {
+				origs = rt.genOrigStates(ex, j, snapshot, final, myRng.Derive("reorig"))
+			}
+		} else {
+			rt.commits.Add(1)
+		}
+	} else {
+		rt.commits.Add(1)
+	}
+	rt.outs[j] = outs
+
+	// Now committed: decide the successor chunk's fate by comparing its
+	// speculative state against this chunk's original states (§II-B).
+	if !last {
+		nxt := rt.slots[j+1]
+		nxt.mu.Lock(ex)
+		for !nxt.specReady {
+			nxt.cv.Wait(ex)
+		}
+		spec := nxt.spec
+		nxt.mu.Unlock(ex)
+
+		ex.SetCat(trace.CatCompare)
+		matched := false
+		for _, o := range origs {
+			ex.Compute(rt.prog.CompareCost())
+			if p.Match(o, spec) {
+				matched = true
+				break
+			}
+		}
+		nxt.mu.Lock(ex)
+		nxt.trueFinal = final
+		nxt.srcLoc = ex.Loc()
+		if matched {
+			nxt.dec = decisionCommit
+		} else {
+			nxt.dec = decisionAbort
+		}
+		nxt.cv.Broadcast(ex)
+		nxt.mu.Unlock(ex)
+	}
+}
+
+// processChunk runs chunk j's updates from state s, snapshotting the
+// state window-length inputs before the end (the base the original-state
+// replicas replay from). It returns the outputs, the snapshot (nil for
+// the last chunk) and the final state.
+func (rt *run) processChunk(ex Exec, g *gang, j int, s State, rnd, jit *rng.Stream, cat trace.Category) ([]Output, State, State) {
+	p := rt.prog
+	chunk := rt.chunkInputs(j)
+	last := j == len(rt.bounds)-1
+	snapAt := -1
+	if !last {
+		snapAt = len(chunk) - len(rt.window(j))
+	}
+	var snapshot State
+	outs := make([]Output, 0, len(chunk))
+	ex.SetCat(cat)
+	for i, in := range chunk {
+		if i == snapAt {
+			snapshot = p.Clone(s)
+			rt.states.Add(1)
+			ex.Copy(p.StateBytes(), ex.Loc(), p.Name()+".snap")
+			ex.SetCat(cat)
+		}
+		uw := p.UpdateCost(in, s)
+		var out Output
+		s, out = p.Update(s, in, rnd)
+		g.run(ex, uw, cat, jit, uw.ShareJitter)
+		outs = append(outs, out)
+	}
+	return outs, snapshot, s
+}
+
+// genOrigStates produces the set of original states for chunk j's
+// boundary: the worker's own final state plus ExtraStates replicas, each
+// re-running the last window inputs from the snapshot with fresh
+// nondeterminism on its own thread (Fig. 5, cores 0–2).
+func (rt *run) genOrigStates(ex Exec, j int, snapshot, final State, rnd *rng.Stream) []State {
+	p := rt.prog
+	origs := []State{final}
+	extra := rt.cfg.ExtraStates
+	if extra == 0 || snapshot == nil {
+		return origs
+	}
+	win := rt.window(j)
+	results := make([]State, extra)
+	handles := make([]Handle, extra)
+	myLoc := ex.Loc()
+	for i := 0; i < extra; i++ {
+		i := i
+		rr := rnd.DeriveN("replica", i)
+		handles[i] = ex.Spawn(fmt.Sprintf("%s-r%d.%d", p.Name(), j, i), func(re Exec) {
+			re.SetCat(trace.CatOrigStates)
+			sr := p.Clone(snapshot)
+			rt.states.Add(1)
+			re.Copy(p.StateBytes(), myLoc, p.Name()+".orig")
+			re.SetCat(trace.CatOrigStates)
+			for _, in := range win {
+				uw := p.UpdateCost(in, sr)
+				sr, _ = p.Update(sr, in, rr)
+				re.Compute(uw.Serial)
+				re.Compute(uw.Parallel)
+			}
+			results[i] = sr
+		})
+		rt.threads.Add(1)
+	}
+	for _, h := range handles {
+		ex.Join(h)
+	}
+	return append(origs, results...)
+}
+
+// RunSequential executes the original sequential program (the Fig. 9
+// baseline): no STATS runtime, no original TLP.
+func RunSequential(ex Exec, p Program, inputs []Input, seed uint64) *Report {
+	return runPlain(ex, p, inputs, 1, seed)
+}
+
+// RunOriginal executes the program with only its original TLP (the black
+// bars of Fig. 9): a sequential outer loop whose updates run on a gang of
+// the given width.
+func RunOriginal(ex Exec, p Program, inputs []Input, width int, seed uint64) *Report {
+	return runPlain(ex, p, inputs, width, seed)
+}
+
+func runPlain(ex Exec, p Program, inputs []Input, width int, seed uint64) *Report {
+	root := rng.New(seed).Derive("plain:" + p.Name())
+	ex.SetCat(trace.CatSeqCode)
+	ex.Compute(p.PreRegionWork())
+
+	ex.SetCat(trace.CatChunkWork)
+	threads := 0
+	g := newGang(ex, p.Name()+"-orig", width, func() { threads++ })
+	s := p.Initial(root.Derive("init"))
+	jit := root.Derive("jitter")
+	upd := root.Derive("updates")
+	outs := make([]Output, 0, len(inputs))
+	for _, in := range inputs {
+		uw := p.UpdateCost(in, s)
+		var out Output
+		s, out = p.Update(s, in, upd)
+		g.run(ex, uw, trace.CatChunkWork, jit, uw.ShareJitter)
+		outs = append(outs, out)
+	}
+	g.close(ex)
+
+	ex.SetCat(trace.CatSeqCode)
+	ex.Compute(p.PostRegionWork())
+	return &Report{
+		Outputs:        outs,
+		Chunks:         1,
+		Commits:        1,
+		ThreadsCreated: threads,
+		StatesCreated:  1,
+		StateBytes:     p.StateBytes(),
+	}
+}

@@ -1,0 +1,352 @@
+// Package critpath implements the paper's performance-loss methodology
+// (§V-B): given the timestamped trace of a parallel execution, it builds
+// the happens-before DAG, computes the critical path, and answers what-if
+// questions of the form "what would the makespan be if overhead category X
+// were removed from the critical path" — the same emulation technique the
+// paper borrows from prior critical-path work [26].
+//
+// Fixed intervals (computation, overhead work) keep their measured
+// duration unless their category is removed. Flexible intervals (blocked
+// waits, scheduler queueing) have no intrinsic duration: their end is
+// wherever the incoming wake edge lands, so they shrink automatically when
+// the work that delayed the wake is removed. Cross-thread edges carry the
+// measured wake/spawn latency as weight, removable with the
+// synchronization category.
+package critpath
+
+import (
+	"fmt"
+	"sort"
+
+	"gostats/internal/trace"
+)
+
+// CategorySet is a bit set of trace categories.
+type CategorySet uint32
+
+// Set returns a CategorySet containing the given categories.
+func Set(cats ...trace.Category) CategorySet {
+	var s CategorySet
+	for _, c := range cats {
+		s |= 1 << uint(c)
+	}
+	return s
+}
+
+// Has reports whether c is in the set.
+func (s CategorySet) Has(c trace.Category) bool { return s&(1<<uint(c)) != 0 }
+
+// Union returns the union of s and other.
+func (s CategorySet) Union(other CategorySet) CategorySet { return s | other }
+
+// ExtraComputationSet groups the paper's "extra computation" overheads
+// (§III-B): speculative-state generation, multiple original states, state
+// comparisons, setup, state copying (plus thread spawning, which the
+// paper folds into setup).
+var ExtraComputationSet = Set(trace.CatAltProducer, trace.CatOrigStates, trace.CatCompare,
+	trace.CatSetup, trace.CatStateCopy, trace.CatSpawn)
+
+// SyncSet groups synchronization overheads (§III-C). Removing it also
+// zeroes cross-thread wake latencies.
+var SyncSet = Set(trace.CatSyncKernel)
+
+// seg is one piece of a thread's timeline between two boundaries.
+type seg struct {
+	cat trace.Category
+	dur int64
+	gap bool // no interval covered this span (thread between actions)
+}
+
+// node identifies a boundary point in a thread's timeline.
+type node struct {
+	thread int
+	time   int64
+}
+
+// xedge is a cross-thread edge with its measured latency and kind.
+type xedge struct {
+	from, to int // node ids
+	lat      int64
+	kind     trace.EdgeKind
+}
+
+// Analysis is a prepared DAG over one trace. Build once, query many
+// what-ifs.
+type Analysis struct {
+	tr *trace.Trace
+	// per-thread boundary times (sorted) and node id of each boundary
+	times   [][]int64
+	nodeID  [][]int
+	segs    [][]seg // segs[th][i] spans times[th][i] .. times[th][i+1]
+	nodes   []node
+	xedges  []xedge
+	inx     [][]int // per-node incoming cross edge indexes
+	order   []int   // topological order of node ids
+	seqTime int64   // trace span (measured makespan)
+}
+
+// New builds an Analysis from tr. It returns an error if the trace is
+// inconsistent or contains a cycle.
+func New(tr *trace.Trace) (*Analysis, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Analysis{tr: tr, seqTime: tr.Span}
+	nthreads := tr.Threads
+	a.times = make([][]int64, nthreads)
+	a.nodeID = make([][]int, nthreads)
+	a.segs = make([][]seg, nthreads)
+
+	// Collect boundary times per thread: interval starts/ends plus edge
+	// endpoints.
+	bset := make([]map[int64]struct{}, nthreads)
+	for i := range bset {
+		bset[i] = map[int64]struct{}{}
+	}
+	for _, iv := range tr.Intervals {
+		bset[iv.Thread][iv.Start] = struct{}{}
+		bset[iv.Thread][iv.End] = struct{}{}
+	}
+	for _, e := range tr.Edges {
+		if e.FromThread >= nthreads || e.ToThread >= nthreads {
+			return nil, fmt.Errorf("critpath: edge references unknown thread")
+		}
+		bset[e.FromThread][e.FromTime] = struct{}{}
+		bset[e.ToThread][e.ToTime] = struct{}{}
+	}
+	for th := 0; th < nthreads; th++ {
+		ts := make([]int64, 0, len(bset[th]))
+		for t := range bset[th] {
+			ts = append(ts, t)
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		if len(ts) == 0 {
+			ts = []int64{0}
+		}
+		a.times[th] = ts
+		ids := make([]int, len(ts))
+		for i, t := range ts {
+			ids[i] = len(a.nodes)
+			a.nodes = append(a.nodes, node{thread: th, time: t})
+		}
+		a.nodeID[th] = ids
+	}
+
+	// Build segments: for each consecutive boundary pair find the covering
+	// interval (intervals are non-overlapping per Validate).
+	for th := 0; th < nthreads; th++ {
+		ivs := tr.ThreadIntervals(th)
+		ts := a.times[th]
+		segs := make([]seg, len(ts)-1)
+		k := 0
+		for i := 0; i+1 < len(ts); i++ {
+			lo, hi := ts[i], ts[i+1]
+			for k < len(ivs) && ivs[k].End <= lo {
+				k++
+			}
+			if k < len(ivs) && ivs[k].Start <= lo && ivs[k].End >= hi {
+				segs[i] = seg{cat: ivs[k].Cat, dur: hi - lo}
+			} else {
+				segs[i] = seg{dur: hi - lo, gap: true}
+			}
+		}
+		a.segs[th] = segs
+	}
+
+	// Cross edges between boundary nodes.
+	a.inx = make([][]int, len(a.nodes))
+	for _, e := range tr.Edges {
+		from := a.findNode(e.FromThread, e.FromTime)
+		to := a.findNode(e.ToThread, e.ToTime)
+		ei := len(a.xedges)
+		a.xedges = append(a.xedges, xedge{from: from, to: to, lat: e.ToTime - e.FromTime, kind: e.Kind})
+		a.inx[to] = append(a.inx[to], ei)
+	}
+
+	if err := a.topoSort(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// findNode returns the node id for an exact boundary time (which exists by
+// construction).
+func (a *Analysis) findNode(th int, t int64) int {
+	ts := a.times[th]
+	i := sort.Search(len(ts), func(i int) bool { return ts[i] >= t })
+	return a.nodeID[th][i]
+}
+
+// topoSort orders nodes so that all DAG edges go forward. Intra-thread
+// edges are i -> i+1; cross edges from the edge list.
+func (a *Analysis) topoSort() error {
+	n := len(a.nodes)
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	addEdge := func(u, v int) {
+		succ[u] = append(succ[u], v)
+		indeg[v]++
+	}
+	for th := range a.nodeID {
+		ids := a.nodeID[th]
+		for i := 0; i+1 < len(ids); i++ {
+			addEdge(ids[i], ids[i+1])
+		}
+	}
+	for _, e := range a.xedges {
+		addEdge(e.from, e.to)
+	}
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range succ[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return fmt.Errorf("critpath: happens-before graph contains a cycle")
+	}
+	a.order = order
+	return nil
+}
+
+// WhatIf describes which overhead to remove in a what-if emulation.
+type WhatIf struct {
+	// Removed categories contribute zero duration.
+	Removed CategorySet
+	// RemoveWakeLatency zeroes cross-thread wake/join latencies (part of
+	// the synchronization overhead).
+	RemoveWakeLatency bool
+}
+
+// Makespan emulates the execution with w applied and returns the
+// resulting makespan in cycles. With a zero WhatIf it reproduces the
+// measured makespan exactly.
+func (a *Analysis) Makespan(w WhatIf) int64 {
+	earliest := make([]int64, len(a.nodes))
+	// segAfter[node] = (duration to add when moving to the next intra-
+	// thread node). Precompute per thread walk below instead.
+	segIdx := make([]int, len(a.nodes)) // index of segment preceding node, -1 if first
+	for i := range segIdx {
+		segIdx[i] = -1
+	}
+	for th := range a.nodeID {
+		for i, id := range a.nodeID[th] {
+			if i > 0 {
+				segIdx[id] = i - 1
+			}
+		}
+	}
+	var makespan int64
+	for _, v := range a.order {
+		nd := a.nodes[v]
+		e := int64(0)
+		// Intra-thread predecessor.
+		if si := segIdx[v]; si >= 0 {
+			s := a.segs[nd.thread][si]
+			prev := a.nodeID[nd.thread][si]
+			d := s.dur
+			if s.gap || s.cat.Flexible() || w.Removed.Has(s.cat) {
+				d = 0
+			}
+			if t := earliest[prev] + d; t > e {
+				e = t
+			}
+		}
+		// Cross-thread predecessors.
+		for _, ei := range a.inx[v] {
+			x := a.xedges[ei]
+			lat := x.lat
+			if w.RemoveWakeLatency {
+				lat = 0
+			}
+			if t := earliest[x.from] + lat; t > e {
+				e = t
+			}
+		}
+		earliest[v] = e
+		if e > makespan {
+			makespan = e
+		}
+	}
+	return makespan
+}
+
+// MeasuredMakespan returns the trace's observed makespan.
+func (a *Analysis) MeasuredMakespan() int64 { return a.seqTime }
+
+// PathByCategory walks the measured critical path backwards from the
+// finish and attributes its cycles per category. Wake latencies on the
+// path are attributed to synchronization (CatSyncKernel). Wait segments
+// traversed on the receiving side are skipped in favour of the waking
+// thread's work, following the paper's critical-path attribution.
+func (a *Analysis) PathByCategory() [trace.NumCategories]int64 {
+	var out [trace.NumCategories]int64
+	if len(a.nodes) == 0 {
+		return out
+	}
+	// Find the node with the maximum measured time.
+	cur := 0
+	for i, nd := range a.nodes {
+		if nd.time > a.nodes[cur].time {
+			cur = i
+		}
+	}
+	for {
+		nd := a.nodes[cur]
+		th := nd.thread
+		// Position of cur in its thread.
+		idx := sort.Search(len(a.times[th]), func(i int) bool { return a.times[th][i] >= nd.time })
+		if idx == 0 {
+			// Beginning of this thread: follow a cross edge in, if any.
+			if next, lat, ok := a.bestIncomingEdge(cur); ok {
+				out[trace.CatSyncKernel] += lat
+				cur = next
+				continue
+			}
+			return out
+		}
+		s := a.segs[th][idx-1]
+		if s.gap || s.cat.Flexible() {
+			// Prefer explaining the wait by its incoming wake edge.
+			if next, lat, ok := a.bestIncomingEdge(cur); ok {
+				out[trace.CatSyncKernel] += lat
+				cur = next
+				continue
+			}
+			// Unexplained wait: attribute as wait time.
+			out[trace.CatSyncWait] += s.dur
+			cur = a.nodeID[th][idx-1]
+			continue
+		}
+		out[s.cat] += s.dur
+		cur = a.nodeID[th][idx-1]
+	}
+}
+
+// bestIncomingEdge returns the cross edge into node v whose source is
+// latest in measured time.
+func (a *Analysis) bestIncomingEdge(v int) (from int, lat int64, ok bool) {
+	best := -1
+	for _, ei := range a.inx[v] {
+		x := a.xedges[ei]
+		if best == -1 || a.nodes[x.from].time > a.nodes[a.xedges[best].from].time {
+			best = ei
+		}
+	}
+	if best == -1 {
+		return 0, 0, false
+	}
+	return a.xedges[best].from, a.xedges[best].lat, true
+}

@@ -1,0 +1,345 @@
+package critpath
+
+import (
+	"testing"
+
+	"gostats/internal/machine"
+	"gostats/internal/trace"
+)
+
+func mustNew(t *testing.T, tr *trace.Trace) *Analysis {
+	t.Helper()
+	a, err := New(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSingleThreadMakespan(t *testing.T) {
+	tr := trace.New()
+	tr.Record(0, trace.CatChunkWork, 0, 100, "")
+	tr.Record(0, trace.CatSetup, 100, 150, "")
+	a := mustNew(t, tr)
+	if got := a.Makespan(WhatIf{}); got != 150 {
+		t.Fatalf("no-removal makespan = %d, want 150", got)
+	}
+	if got := a.Makespan(WhatIf{Removed: Set(trace.CatSetup)}); got != 100 {
+		t.Fatalf("setup-removed makespan = %d, want 100", got)
+	}
+	if got := a.Makespan(WhatIf{Removed: Set(trace.CatChunkWork, trace.CatSetup)}); got != 0 {
+		t.Fatalf("all-removed makespan = %d, want 0", got)
+	}
+}
+
+func TestWakeEdgeOrdersThreads(t *testing.T) {
+	tr := trace.New()
+	tr.Record(0, trace.CatChunkWork, 0, 100, "")
+	tr.Record(1, trace.CatSyncWait, 0, 110, "")
+	tr.Record(1, trace.CatChunkWork, 110, 200, "")
+	tr.AddEdge(trace.EdgeWake, 0, 100, 1, 110)
+	a := mustNew(t, tr)
+	if got := a.Makespan(WhatIf{}); got != 200 {
+		t.Fatalf("measured emulation = %d, want 200", got)
+	}
+	// Removing the producer's work: consumer starts after just the wake
+	// latency.
+	got := a.Makespan(WhatIf{Removed: Set(trace.CatChunkWork)})
+	if got != 10 {
+		t.Fatalf("work-removed makespan = %d, want 10 (latency only)", got)
+	}
+	// Removing wake latency instead shaves exactly 10 cycles.
+	got = a.Makespan(WhatIf{RemoveWakeLatency: true})
+	if got != 190 {
+		t.Fatalf("latency-removed makespan = %d, want 190", got)
+	}
+}
+
+func TestFlexibleWaitShrinksWithUpstreamRemoval(t *testing.T) {
+	// T0 runs 100 cycles of setup then wakes T1 (5-cycle latency). T1's
+	// wait is flexible: removing the setup should let T1 start at 5.
+	tr := trace.New()
+	tr.Record(0, trace.CatSetup, 0, 100, "")
+	tr.Record(1, trace.CatSyncWait, 0, 105, "")
+	tr.Record(1, trace.CatChunkWork, 105, 205, "")
+	tr.AddEdge(trace.EdgeWake, 0, 100, 1, 105)
+	a := mustNew(t, tr)
+	if got := a.Makespan(WhatIf{Removed: Set(trace.CatSetup)}); got != 105 {
+		t.Fatalf("makespan = %d, want 105 (5 latency + 100 work)", got)
+	}
+}
+
+func TestEdgeMidIntervalSplits(t *testing.T) {
+	// An edge leaving mid-interval splits it; the downstream thread can
+	// start after only the first half of the producer's interval.
+	tr := trace.New()
+	tr.Record(0, trace.CatChunkWork, 0, 100, "")
+	tr.Record(1, trace.CatSyncWait, 0, 50, "")
+	tr.Record(1, trace.CatChunkWork, 50, 120, "")
+	tr.AddEdge(trace.EdgeSpawn, 0, 40, 1, 50)
+	a := mustNew(t, tr)
+	if got := a.Makespan(WhatIf{}); got != 120 {
+		t.Fatalf("measured emulation = %d, want 120", got)
+	}
+	// Removing T1's work leaves T0's 100 cycles as the path.
+	if got := a.Makespan(WhatIf{Removed: Set(trace.CatSyncWait)}); got != 120 {
+		t.Fatalf("wait category removal should not change anything: %d", got)
+	}
+}
+
+func TestPathByCategory(t *testing.T) {
+	tr := trace.New()
+	tr.Record(0, trace.CatChunkWork, 0, 100, "")
+	tr.Record(0, trace.CatCompare, 100, 130, "")
+	tr.Record(1, trace.CatSyncWait, 0, 140, "")
+	tr.Record(1, trace.CatChunkWork, 140, 200, "")
+	tr.AddEdge(trace.EdgeWake, 0, 130, 1, 140)
+	a := mustNew(t, tr)
+	path := a.PathByCategory()
+	if path[trace.CatChunkWork] != 160 { // 60 on T1 + 100 on T0
+		t.Fatalf("chunk work on path = %d, want 160", path[trace.CatChunkWork])
+	}
+	if path[trace.CatCompare] != 30 {
+		t.Fatalf("compare on path = %d, want 30", path[trace.CatCompare])
+	}
+	if path[trace.CatSyncKernel] != 10 { // the wake latency
+		t.Fatalf("sync on path = %d, want 10", path[trace.CatSyncKernel])
+	}
+	if path[trace.CatSyncWait] != 0 {
+		t.Fatalf("explained wait should not appear: %d", path[trace.CatSyncWait])
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	tr := trace.New()
+	tr.Record(0, trace.CatChunkWork, 0, 10, "")
+	tr.Record(1, trace.CatChunkWork, 0, 10, "")
+	tr.AddEdge(trace.EdgeCommit, 0, 10, 1, 10)
+	tr.AddEdge(trace.EdgeCommit, 1, 10, 0, 10)
+	if _, err := New(tr); err == nil {
+		t.Fatal("cyclic happens-before graph accepted")
+	}
+}
+
+func TestInvalidTraceRejected(t *testing.T) {
+	tr := trace.New()
+	tr.Record(0, trace.CatChunkWork, 0, 100, "")
+	tr.Record(0, trace.CatSetup, 50, 150, "") // overlaps
+	if _, err := New(tr); err == nil {
+		t.Fatal("invalid trace accepted")
+	}
+}
+
+func TestMachineIntegrationExactReplay(t *testing.T) {
+	// Without oversubscription, the emulated no-removal makespan must
+	// reproduce the machine's measured makespan exactly.
+	tr := trace.New()
+	cfg := machine.DefaultConfig(4)
+	m := machine.New(cfg, machine.WithTrace(tr))
+	err := m.Run("root", func(th *machine.Thread) {
+		var kids []*machine.Thread
+		for i := 0; i < 3; i++ {
+			i := i
+			kids = append(kids, th.Spawn("w", func(w *machine.Thread) {
+				w.Compute(machine.Work{Instr: int64(10_000 * (i + 1))})
+			}))
+		}
+		th.Compute(machine.Work{Instr: 25_000})
+		for _, k := range kids {
+			th.Join(k)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustNew(t, tr)
+	if got := a.Makespan(WhatIf{}); got != m.Now() {
+		t.Fatalf("emulated makespan %d != measured %d", got, m.Now())
+	}
+}
+
+func TestMachineIntegrationRemovalSpeedsUp(t *testing.T) {
+	tr := trace.New()
+	m := machine.New(machine.DefaultConfig(4), machine.WithTrace(tr))
+	err := m.Run("root", func(th *machine.Thread) {
+		th.SetCat(trace.CatSetup)
+		th.Compute(machine.Work{Instr: 50_000})
+		th.SetCat(trace.CatChunkWork)
+		c := th.Spawn("w", func(w *machine.Thread) {
+			w.Compute(machine.Work{Instr: 100_000})
+		})
+		th.Compute(machine.Work{Instr: 100_000})
+		th.Join(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustNew(t, tr)
+	full := a.Makespan(WhatIf{})
+	noSetup := a.Makespan(WhatIf{Removed: Set(trace.CatSetup, trace.CatSpawn)})
+	if noSetup >= full {
+		t.Fatalf("removing setup did not reduce makespan: %d -> %d", full, noSetup)
+	}
+	// Setup (50k instr * 0.7 CPI = 35k cycles) dominates the difference.
+	if full-noSetup < 30_000 {
+		t.Fatalf("setup removal gained only %d cycles", full-noSetup)
+	}
+}
+
+func TestWhatIfMonotone(t *testing.T) {
+	tr := trace.New()
+	m := machine.New(machine.DefaultConfig(2), machine.WithTrace(tr))
+	mu := m.NewMutex()
+	err := m.Run("root", func(th *machine.Thread) {
+		c := th.Spawn("w", func(w *machine.Thread) {
+			w.SetCat(trace.CatAltProducer)
+			w.Compute(machine.Work{Instr: 30_000})
+			mu.Lock(w)
+			w.SetCat(trace.CatChunkWork)
+			w.Compute(machine.Work{Instr: 60_000})
+			mu.Unlock(w)
+		})
+		mu.Lock(th)
+		th.Compute(machine.Work{Instr: 90_000})
+		mu.Unlock(th)
+		th.Join(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustNew(t, tr)
+	prev := a.Makespan(WhatIf{})
+	sets := []WhatIf{
+		{Removed: ExtraComputationSet},
+		{Removed: ExtraComputationSet.Union(SyncSet), RemoveWakeLatency: true},
+		{Removed: ExtraComputationSet.Union(SyncSet).Union(Set(trace.CatChunkWork)), RemoveWakeLatency: true},
+	}
+	for i, w := range sets {
+		got := a.Makespan(w)
+		if got > prev {
+			t.Fatalf("removal step %d increased makespan: %d -> %d", i, prev, got)
+		}
+		prev = got
+	}
+}
+
+func TestCategorySetOps(t *testing.T) {
+	s := Set(trace.CatSetup, trace.CatCompare)
+	if !s.Has(trace.CatSetup) || !s.Has(trace.CatCompare) {
+		t.Fatal("Set lost members")
+	}
+	if s.Has(trace.CatChunkWork) {
+		t.Fatal("Set has phantom member")
+	}
+	u := s.Union(Set(trace.CatChunkWork))
+	if !u.Has(trace.CatChunkWork) || !u.Has(trace.CatSetup) {
+		t.Fatal("Union broken")
+	}
+}
+
+func TestDecomposeSumsToGap(t *testing.T) {
+	tr := trace.New()
+	// A deliberately lossy 4-core schedule: sequential prologue, one
+	// worker with overheads, imbalanced finish.
+	tr.Record(0, trace.CatSeqCode, 0, 100, "")
+	tr.Record(0, trace.CatSetup, 100, 150, "")
+	tr.Record(0, trace.CatChunkWork, 150, 1000, "")
+	tr.Record(1, trace.CatSyncWait, 0, 160, "")
+	tr.Record(1, trace.CatAltProducer, 160, 260, "")
+	tr.Record(1, trace.CatChunkWork, 260, 700, "")
+	tr.AddEdge(trace.EdgeSpawn, 0, 150, 1, 160)
+	a := mustNew(t, tr)
+
+	seq := int64(2000)
+	b := Decompose(a, seq, 4, Oracle{CleanTuned: 3.0, CleanMax: 3.6})
+	sum := 0.0
+	for _, v := range b.LostPct {
+		if v < 0 {
+			t.Fatalf("negative loss component: %+v", b.LostPct)
+		}
+		sum += v
+	}
+	if diff := sum - b.TotalLostPct; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("loss components sum to %g, want %g", sum, b.TotalLostPct)
+	}
+	wantTotal := (4 - b.Measured) / 4 * 100
+	if d := b.TotalLostPct - wantTotal; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("TotalLostPct = %g, want %g", b.TotalLostPct, wantTotal)
+	}
+	if b.LostPct[LossUnreachable] == 0 {
+		t.Fatal("CleanMax 3.6 < 4 must yield unreachable loss")
+	}
+	if b.LostPct[LossMispeculation] == 0 {
+		t.Fatal("CleanMax > CleanTuned must yield mispeculation loss")
+	}
+}
+
+func TestDecomposeExtraBreakdownSums(t *testing.T) {
+	tr := trace.New()
+	tr.Record(0, trace.CatSetup, 0, 50, "")
+	tr.Record(0, trace.CatAltProducer, 50, 150, "")
+	tr.Record(0, trace.CatStateCopy, 150, 170, "")
+	tr.Record(0, trace.CatChunkWork, 170, 500, "")
+	a := mustNew(t, tr)
+	b := Decompose(a, 900, 2, Oracle{CleanTuned: 2, CleanMax: 2})
+	sum := 0.0
+	for _, v := range b.ExtraPct {
+		sum += v
+	}
+	if d := sum - b.LostPct[LossExtraComputation]; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("extra parts sum %g != extra loss %g", sum, b.LostPct[LossExtraComputation])
+	}
+	if b.ExtraPct[PartSpeculativeState] <= b.ExtraPct[PartStateCopy] {
+		t.Fatal("100-cycle alt producer should outweigh 20-cycle copy")
+	}
+}
+
+func TestDecomposePerfectRun(t *testing.T) {
+	// Measured speedup at ideal: zero loss everywhere.
+	tr := trace.New()
+	tr.Record(0, trace.CatChunkWork, 0, 250, "")
+	tr.Record(1, trace.CatChunkWork, 0, 250, "")
+	tr.Record(2, trace.CatChunkWork, 0, 250, "")
+	tr.Record(3, trace.CatChunkWork, 0, 250, "")
+	a := mustNew(t, tr)
+	b := Decompose(a, 1000, 4, Oracle{CleanTuned: 4, CleanMax: 4})
+	if b.TotalLostPct != 0 {
+		t.Fatalf("perfect run lost %g%%", b.TotalLostPct)
+	}
+	for _, v := range b.LostPct {
+		if v != 0 {
+			t.Fatalf("perfect run has loss components: %+v", b.LostPct)
+		}
+	}
+}
+
+func TestLossAndPartNames(t *testing.T) {
+	seen := map[string]bool{}
+	for l := Loss(0); int(l) < NumLosses; l++ {
+		s := l.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate loss name %q", s)
+		}
+		seen[s] = true
+	}
+	for p := ExtraPart(0); int(p) < NumExtraParts; p++ {
+		s := p.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate part name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	a := mustNew(t, trace.New())
+	if got := a.Makespan(WhatIf{}); got != 0 {
+		t.Fatalf("empty trace makespan = %d", got)
+	}
+	path := a.PathByCategory()
+	for _, v := range path {
+		if v != 0 {
+			t.Fatal("empty trace has a non-empty path")
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package critpath
+
+import (
+	"fmt"
+
+	"gostats/internal/trace"
+)
+
+// Loss identifies one of the paper's six speedup-loss categories (§III).
+type Loss int
+
+const (
+	// LossExtraComputation is §III-B: alternative producers, multiple
+	// original states, comparisons, setup, state copies.
+	LossExtraComputation Loss = iota
+	// LossSync is §III-C: kernel entries plus waiting at sync points.
+	LossSync
+	// LossSeqCode is §III-D: code outside the STATS region.
+	LossSeqCode
+	// LossImbalance is §III-A: uneven division of computation.
+	LossImbalance
+	// LossMispeculation is §III-E: aborted speculation (re-execution plus
+	// the chunks the autotuner did not dare create).
+	LossMispeculation
+	// LossUnreachable is §III-E: parallelism that does not exist even in
+	// the overhead-free, all-commit limit.
+	LossUnreachable
+	numLosses
+)
+
+// NumLosses is the number of loss categories.
+const NumLosses = int(numLosses)
+
+var lossNames = [...]string{
+	LossExtraComputation: "extra-computation",
+	LossSync:             "synchronization",
+	LossSeqCode:          "sequential-code",
+	LossImbalance:        "imbalance",
+	LossMispeculation:    "mispeculation",
+	LossUnreachable:      "unreachable",
+}
+
+// String returns the loss category name.
+func (l Loss) String() string {
+	if l < 0 || int(l) >= NumLosses {
+		return fmt.Sprintf("loss(%d)", int(l))
+	}
+	return lossNames[l]
+}
+
+// ExtraPart identifies a component of the extra-computation breakdown
+// (Figs. 11, 13, 15).
+type ExtraPart int
+
+const (
+	// PartSpeculativeState is alternative-producer work.
+	PartSpeculativeState ExtraPart = iota
+	// PartOriginalStates is multiple-original-state generation.
+	PartOriginalStates
+	// PartComparisons is speculative-vs-original state comparison.
+	PartComparisons
+	// PartSetup is runtime setup/teardown (including thread creation).
+	PartSetup
+	// PartStateCopy is computational-state cloning.
+	PartStateCopy
+	numExtraParts
+)
+
+// NumExtraParts is the number of extra-computation components.
+const NumExtraParts = int(numExtraParts)
+
+var extraPartNames = [...]string{
+	PartSpeculativeState: "speculative-state",
+	PartOriginalStates:   "original-states",
+	PartComparisons:      "state-comparisons",
+	PartSetup:            "setup",
+	PartStateCopy:        "state-copying",
+}
+
+// String returns the component name.
+func (p ExtraPart) String() string {
+	if p < 0 || int(p) >= NumExtraParts {
+		return fmt.Sprintf("part(%d)", int(p))
+	}
+	return extraPartNames[p]
+}
+
+// partSets maps each extra-computation component to its trace categories.
+var partSets = [NumExtraParts]CategorySet{
+	PartSpeculativeState: Set(trace.CatAltProducer),
+	PartOriginalStates:   Set(trace.CatOrigStates),
+	PartComparisons:      Set(trace.CatCompare),
+	PartSetup:            Set(trace.CatSetup, trace.CatSpawn),
+	PartStateCopy:        Set(trace.CatStateCopy),
+}
+
+// Oracle carries speedups from overhead-free oracle simulations, needed to
+// split the residual gap into imbalance / mispeculation / unreachability
+// (§III-E definitions).
+type Oracle struct {
+	// CleanTuned is the speedup of an overhead-free, all-commit run with
+	// the autotuner-chosen chunk count.
+	CleanTuned float64
+	// CleanMax is the same with as many chunks as the input allows
+	// (ignoring mispeculation risk).
+	CleanMax float64
+}
+
+// Breakdown is the result of decomposing the gap between measured and
+// ideal speedup, the content of the paper's Figs. 10 and 12.
+type Breakdown struct {
+	// Ideal is the linear-speedup target (the core count).
+	Ideal float64
+	// Measured is the achieved speedup.
+	Measured float64
+	// LostPct[l] is the percentage of the ideal speedup lost to category
+	// l; the percentages sum to TotalLostPct.
+	LostPct [NumLosses]float64
+	// TotalLostPct is 100*(Ideal-Measured)/Ideal.
+	TotalLostPct float64
+	// ExtraPct[p] decomposes LostPct[LossExtraComputation] into its five
+	// components (summing to it).
+	ExtraPct [NumExtraParts]float64
+}
+
+// Decompose attributes the gap between ideal (= cores) and measured
+// speedup to the six loss categories using cumulative what-if removals on
+// the trace DAG plus the oracle speedups. seqCycles is the sequential
+// baseline execution time.
+func Decompose(a *Analysis, seqCycles int64, cores int, oracle Oracle) Breakdown {
+	ideal := float64(cores)
+	measured := speedup(seqCycles, a.MeasuredMakespan())
+	b := Breakdown{Ideal: ideal, Measured: measured}
+	if measured >= ideal {
+		// At or beyond linear speedup: nothing lost.
+		return b
+	}
+
+	// Cumulative removal chain. Each step's speedup gain is that
+	// category's attributed loss.
+	sNone := speedup(seqCycles, a.Makespan(WhatIf{}))
+	// Core-contention queueing (measured vs emulated-none) folds into
+	// imbalance below via the telescoped residual.
+	cur := WhatIf{}
+	cur.Removed = cur.Removed.Union(ExtraComputationSet)
+	sExtra := speedup(seqCycles, a.Makespan(cur))
+
+	cur.Removed = cur.Removed.Union(SyncSet)
+	cur.RemoveWakeLatency = true
+	sSync := speedup(seqCycles, a.Makespan(cur))
+
+	cur.Removed = cur.Removed.Union(Set(trace.CatReexec))
+	sReexec := speedup(seqCycles, a.Makespan(cur))
+
+	cur.Removed = cur.Removed.Union(Set(trace.CatSeqCode))
+	sNoOv := speedup(seqCycles, a.Makespan(cur))
+
+	sOT := clamp(oracle.CleanTuned, sNoOv, ideal)
+	sOM := clamp(oracle.CleanMax, sOT, ideal)
+
+	loss := func(hi, lo float64) float64 {
+		if hi < lo {
+			return 0
+		}
+		return hi - lo
+	}
+	var raw [NumLosses]float64
+	raw[LossExtraComputation] = loss(sExtra, sNone)
+	raw[LossSync] = loss(sSync, sExtra)
+	raw[LossSeqCode] = loss(sNoOv, sReexec)
+	raw[LossMispeculation] = loss(sReexec, sSync) + loss(sOM, sOT)
+	raw[LossImbalance] = loss(sOT, sNoOv) + loss(sNone, measured)
+	raw[LossUnreachable] = loss(ideal, sOM)
+
+	// Normalize so the categories sum exactly to the total gap (clamping
+	// can introduce small distortions).
+	total := 0.0
+	for _, v := range raw {
+		total += v
+	}
+	gap := ideal - measured
+	if total > 0 {
+		for l := range raw {
+			b.LostPct[l] = raw[l] / total * gap / ideal * 100
+		}
+	}
+	b.TotalLostPct = gap / ideal * 100
+
+	// Extra-computation sub-breakdown: independent single-part removals,
+	// scaled to sum to the extra-computation loss.
+	var parts [NumExtraParts]float64
+	sum := 0.0
+	for p := 0; p < NumExtraParts; p++ {
+		sp := speedup(seqCycles, a.Makespan(WhatIf{Removed: partSets[p]}))
+		parts[p] = loss(sp, sNone)
+		sum += parts[p]
+	}
+	if sum > 0 {
+		for p := range parts {
+			b.ExtraPct[p] = parts[p] / sum * b.LostPct[LossExtraComputation]
+		}
+	}
+	return b
+}
+
+func speedup(seq, par int64) float64 {
+	if par <= 0 {
+		return 0
+	}
+	return float64(seq) / float64(par)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

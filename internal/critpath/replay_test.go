@@ -1,0 +1,157 @@
+package critpath
+
+import (
+	"testing"
+
+	"gostats/internal/machine"
+	"gostats/internal/rng"
+	"gostats/internal/trace"
+)
+
+// randomProgram drives the machine with a random mix of computes, locks,
+// condvar waits and nested spawns, and returns the machine + trace.
+func randomProgram(t *testing.T, seed uint64, cores, threads int) (*machine.Machine, *trace.Trace) {
+	t.Helper()
+	tr := trace.New()
+	cfg := machine.DefaultConfig(cores)
+	m := machine.New(cfg, machine.WithTrace(tr))
+	r := rng.New(seed)
+	mu := m.NewMutex()
+	cond := m.NewCond(mu)
+	done := 0
+
+	body := func(w *machine.Thread, r *rng.Stream) {
+		steps := 3 + r.Intn(6)
+		for s := 0; s < steps; s++ {
+			switch r.Intn(5) {
+			case 0, 1:
+				w.Compute(machine.Work{Instr: int64(1000 + r.Intn(50_000))})
+			case 2:
+				mu.Lock(w)
+				w.Compute(machine.Work{Instr: int64(100 + r.Intn(5_000))})
+				mu.Unlock(w)
+			case 3:
+				w.WithCat(trace.CatAltProducer, func() {
+					w.Compute(machine.Work{Instr: int64(1000 + r.Intn(10_000))})
+				})
+			case 4:
+				w.CopyState(int64(64+r.Intn(4096)), -1, "rs")
+			}
+		}
+	}
+
+	err := m.Run("root", func(th *machine.Thread) {
+		var kids []*machine.Thread
+		for i := 0; i < threads; i++ {
+			rr := r.DeriveN("w", i)
+			kids = append(kids, th.Spawn("w", func(w *machine.Thread) {
+				body(w, rr)
+				mu.Lock(w)
+				done++
+				if done == threads {
+					cond.Broadcast(w)
+				}
+				mu.Unlock(w)
+			}))
+		}
+		mu.Lock(th)
+		for done < threads {
+			cond.Wait(th)
+		}
+		mu.Unlock(th)
+		for _, k := range kids {
+			th.Join(k)
+		}
+	})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return m, tr
+}
+
+// TestReplayExactWithoutOversubscription: when every thread has its own
+// core, the what-if emulation with nothing removed must reproduce the
+// measured makespan exactly — the foundation of the §V-B methodology.
+func TestReplayExactWithoutOversubscription(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		threads := 2 + int(seed%5)
+		m, tr := randomProgram(t, seed, threads+2, threads)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid trace: %v", seed, err)
+		}
+		an, err := New(tr)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := an.Makespan(WhatIf{}); got != m.Now() {
+			t.Fatalf("seed %d: replay %d != measured %d", seed, got, m.Now())
+		}
+	}
+}
+
+// TestReplayLowerBoundsWithOversubscription: with fewer cores than
+// threads, scheduler queueing is collapsed by the what-if model, so the
+// emulated makespan is a lower bound on (and never above) the measured
+// one.
+func TestReplayLowerBoundsWithOversubscription(t *testing.T) {
+	for seed := uint64(1); seed <= 15; seed++ {
+		threads := 6 + int(seed%6)
+		m, tr := randomProgram(t, seed, 2, threads)
+		an, err := New(tr)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := an.Makespan(WhatIf{}); got > m.Now() {
+			t.Fatalf("seed %d: emulated %d exceeds measured %d", seed, got, m.Now())
+		}
+	}
+}
+
+// TestRemovalNeverIncreasesMakespan: every category removal (alone and
+// cumulatively) must shorten or preserve the emulated makespan, on random
+// schedules.
+func TestRemovalNeverIncreasesMakespan(t *testing.T) {
+	for seed := uint64(30); seed <= 42; seed++ {
+		_, tr := randomProgram(t, seed, 4, 5)
+		an, err := New(tr)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		base := an.Makespan(WhatIf{})
+		var cum CategorySet
+		for c := 0; c < trace.NumCategories; c++ {
+			alone := an.Makespan(WhatIf{Removed: Set(trace.Category(c))})
+			if alone > base {
+				t.Fatalf("seed %d: removing %v increased makespan %d -> %d",
+					seed, trace.Category(c), base, alone)
+			}
+			cum = cum.Union(Set(trace.Category(c)))
+			if got := an.Makespan(WhatIf{Removed: cum, RemoveWakeLatency: true}); got > base {
+				t.Fatalf("seed %d: cumulative removal increased makespan", seed)
+			}
+		}
+	}
+}
+
+// TestPathByCategoryBoundedByMakespan: the measured critical-path
+// composition must sum to at most the makespan (equal when the walk
+// explains every cycle).
+func TestPathByCategoryBoundedByMakespan(t *testing.T) {
+	for seed := uint64(50); seed <= 60; seed++ {
+		m, tr := randomProgram(t, seed, 6, 4)
+		an, err := New(tr)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var sum int64
+		for _, v := range an.PathByCategory() {
+			sum += v
+		}
+		if sum > m.Now() {
+			t.Fatalf("seed %d: path sum %d exceeds makespan %d", seed, sum, m.Now())
+		}
+		if sum < m.Now()/2 {
+			t.Fatalf("seed %d: path sum %d explains under half the makespan %d", seed, sum, m.Now())
+		}
+	}
+}

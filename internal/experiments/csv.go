@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gostats/internal/report"
+)
+
+// WriteCSVs computes every tabular artifact and writes one CSV per table
+// into dir (for external plotting). Runs are shared with any artifacts
+// the session already computed.
+func WriteCSVs(s *Session, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var tables []struct {
+		name string
+		t    *report.Table
+	}
+	add := func(name string, t *report.Table) {
+		tables = append(tables, struct {
+			name string
+			t    *report.Table
+		}{name, t})
+	}
+
+	f9, err := s.Fig9()
+	if err != nil {
+		return err
+	}
+	add("fig9", f9.Table())
+
+	f10, err := s.Fig10()
+	if err != nil {
+		return err
+	}
+	add("fig10", f10.Table())
+
+	f11, err := s.Fig11()
+	if err != nil {
+		return err
+	}
+	add("fig11", f11.Table())
+
+	f12, err := s.Fig12()
+	if err != nil {
+		return err
+	}
+	add("fig12", f12.Table())
+
+	f13, err := s.Fig13()
+	if err != nil {
+		return err
+	}
+	add("fig13", f13.Table())
+
+	f14, err := s.Fig14()
+	if err != nil {
+		return err
+	}
+	add("fig14", f14.Table())
+	add("fig15", f14.BreakdownTable())
+
+	t1, err := s.Table1()
+	if err != nil {
+		return err
+	}
+	add("table1", t1.Table())
+
+	t2, err := s.Table2()
+	if err != nil {
+		return err
+	}
+	add("table2", t2.Table())
+
+	f16, err := s.Fig16()
+	if err != nil {
+		return err
+	}
+	add("fig16", f16.Table())
+
+	for _, tb := range tables {
+		f, err := os.Create(filepath.Join(dir, tb.name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := tb.t.WriteCSV(f); err != nil {
+			f.Close()
+			return fmt.Errorf("experiments: writing %s.csv: %w", tb.name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,359 @@
+// Package machine is a deterministic discrete-event simulator of the
+// paper's evaluation platform (§IV-A): a dual-socket multicore with
+// per-core run queues, POSIX-style synchronization whose kernel entries
+// cost "several hundreds of clock cycles" (§III-C), and bandwidth-limited
+// state copying.
+//
+// Virtual threads are real goroutines, but exactly one of them (or the
+// event-loop driver) runs at any instant: a thread executes until it calls
+// a blocking primitive (Compute, Lock, Wait, Join, ...), then hands
+// control back to the driver, which advances virtual time by dispatching
+// the earliest pending event. All scheduling decisions are seeded and
+// tie-broken deterministically, so simulated runs are bit-reproducible —
+// a property the STATS characterization methodology depends on.
+//
+// Every primitive records trace intervals and happens-before edges
+// (package trace) that the post-mortem critical-path analysis (package
+// critpath) consumes, exactly like the timestamp instrumentation described
+// in §V-B of the paper.
+package machine
+
+import (
+	"container/heap"
+	"fmt"
+
+	"gostats/internal/memsim"
+	"gostats/internal/rng"
+	"gostats/internal/trace"
+)
+
+// Config describes the simulated platform.
+type Config struct {
+	// Cores is the number of hardware cores; Sockets must divide it.
+	Cores   int
+	Sockets int
+	// Quantum is the preemption timeslice used when a core is
+	// oversubscribed (more runnable threads than cores, as in Table I).
+	Quantum int64
+	// BaseCPI converts charged instructions to cycles before memory-system
+	// stalls are added.
+	BaseCPI float64
+	// SpawnCost is charged to the parent per thread creation; SpawnLatency
+	// delays the child's first instruction.
+	SpawnCost    int64
+	SpawnLatency int64
+	// MutexCost is the user-space cost of an uncontended lock/unlock pair
+	// half (charged per operation).
+	MutexCost int64
+	// KernelWakeCost is the syscall cost charged to a thread that wakes
+	// another (futex wake); WakeLatency is the delay until the woken
+	// thread is runnable, with CrossSocketWakeExtra added when waker and
+	// wakee sit on different sockets.
+	KernelWakeCost       int64
+	WakeLatency          int64
+	CrossSocketWakeExtra int64
+	// State copies cost CopySetupCost plus size/CopyBytesPerCycle cycles;
+	// cross-socket copies divide bandwidth by CrossSocketCopyFactor.
+	// InstrPerCopiedByte accounts the copy in instructions (Fig. 14/15).
+	CopySetupCost         int64
+	CopyBytesPerCycle     float64
+	CrossSocketCopyFactor float64
+	InstrPerCopiedByte    float64
+	Seed                  uint64
+}
+
+// DefaultConfig returns a platform model shaped after the paper's server:
+// 2.3 GHz Haswell cores, two sockets, pthread synchronization costs.
+func DefaultConfig(cores int) Config {
+	sockets := 2
+	if cores < 2 || cores%2 != 0 {
+		sockets = 1
+	}
+	return Config{
+		Cores:                 cores,
+		Sockets:               sockets,
+		Quantum:               200_000,
+		BaseCPI:               0.7,
+		SpawnCost:             12_000,
+		SpawnLatency:          4_000,
+		MutexCost:             60,
+		KernelWakeCost:        1_800,
+		WakeLatency:           2_500,
+		CrossSocketWakeExtra:  1_200,
+		CopySetupCost:         300,
+		CopyBytesPerCycle:     8,
+		CrossSocketCopyFactor: 2.2,
+		InstrPerCopiedByte:    0.25,
+		Seed:                  1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("machine: Cores must be positive, got %d", c.Cores)
+	}
+	if c.Sockets <= 0 || c.Cores%c.Sockets != 0 {
+		return fmt.Errorf("machine: %d cores not divisible across %d sockets", c.Cores, c.Sockets)
+	}
+	if c.Quantum <= 0 {
+		return fmt.Errorf("machine: Quantum must be positive")
+	}
+	if c.BaseCPI <= 0 {
+		return fmt.Errorf("machine: BaseCPI must be positive")
+	}
+	if c.CopyBytesPerCycle <= 0 {
+		return fmt.Errorf("machine: CopyBytesPerCycle must be positive")
+	}
+	return nil
+}
+
+// event is one scheduled callback; ties on time break by insertion order.
+type event struct {
+	time int64
+	seq  int64
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Accounting aggregates charged cycles and instructions per category,
+// feeding the extra-computation analyses (Figs. 11, 14, 15).
+type Accounting struct {
+	Cycles [trace.NumCategories]int64
+	Instr  [trace.NumCategories]int64
+}
+
+// TotalInstr sums charged instructions over all categories.
+func (a Accounting) TotalInstr() int64 {
+	var t int64
+	for _, v := range a.Instr {
+		t += v
+	}
+	return t
+}
+
+// TotalCycles sums charged cycles over all categories.
+func (a Accounting) TotalCycles() int64 {
+	var t int64
+	for _, v := range a.Cycles {
+		t += v
+	}
+	return t
+}
+
+// Machine is one simulated multicore. Create with New, drive with Run.
+type Machine struct {
+	cfg    Config
+	events eventHeap
+	seq    int64
+	now    int64
+
+	cores   []*coreState
+	threads []*Thread
+	live    int
+
+	// yield is the control handshake: the running thread sends on it when
+	// blocking; the driver receives to regain control.
+	yield chan struct{}
+
+	tr   *trace.Trace
+	mem  *memsim.System
+	acct Accounting
+	rnd  *rng.Stream
+
+	failure error
+	ran     bool
+}
+
+type coreState struct {
+	id       int
+	queue    []*computeReq
+	busy     bool
+	busyCy   int64
+	loadCy   int64 // queued + running remaining cycles, for placement
+	assigned int   // live threads pinned to this core
+}
+
+// Option configures optional machine attachments.
+type Option func(*Machine)
+
+// WithTrace attaches a trace that records every interval and edge.
+func WithTrace(tr *trace.Trace) Option { return func(m *Machine) { m.tr = tr } }
+
+// WithMemory attaches a simulated memory hierarchy; charged work then pays
+// cache and branch-predictor stalls and increments its counters.
+func WithMemory(ms *memsim.System) Option { return func(m *Machine) { m.mem = ms } }
+
+// New builds a Machine. It panics on invalid configuration (programmer
+// error); use Config.validate via NewChecked for data-driven configs.
+func New(cfg Config, opts ...Option) *Machine {
+	m, err := NewChecked(cfg, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NewChecked builds a Machine, returning configuration errors.
+func NewChecked(cfg Config, opts ...Option) (*Machine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:   cfg,
+		yield: make(chan struct{}),
+		rnd:   rng.New(cfg.Seed).Derive("machine"),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		m.cores = append(m.cores, &coreState{id: i})
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m, nil
+}
+
+// Now returns the current simulated time in cycles.
+func (m *Machine) Now() int64 { return m.now }
+
+// Cores returns the configured core count.
+func (m *Machine) Cores() int { return m.cfg.Cores }
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Accounting returns the per-category charged cycles and instructions.
+func (m *Machine) Accounting() Accounting { return m.acct }
+
+// ThreadsCreated returns how many threads were spawned (Table I).
+func (m *Machine) ThreadsCreated() int { return len(m.threads) }
+
+// CoreBusyCycles returns per-core executed cycles, for utilization
+// reporting.
+func (m *Machine) CoreBusyCycles() []int64 {
+	out := make([]int64, len(m.cores))
+	for i, c := range m.cores {
+		out[i] = c.busyCy
+	}
+	return out
+}
+
+// socketOf maps a core to its socket.
+func (m *Machine) socketOf(core int) int {
+	return core / (m.cfg.Cores / m.cfg.Sockets)
+}
+
+// at schedules fn to run at absolute time t.
+func (m *Machine) at(t int64, fn func()) {
+	if t < m.now {
+		panic(fmt.Sprintf("machine: scheduling event in the past (%d < %d)", t, m.now))
+	}
+	m.seq++
+	heap.Push(&m.events, &event{time: t, seq: m.seq, fn: fn})
+}
+
+// after schedules fn d cycles from now.
+func (m *Machine) after(d int64, fn func()) { m.at(m.now+d, fn) }
+
+// Run executes root as the first thread and drives the simulation until
+// all threads complete. It returns an error on deadlock or if any thread
+// panicked. Run may be called once per Machine.
+//
+// On failure (deadlock or panic) the goroutines of still-blocked virtual
+// threads are abandoned parked on their wake channels; they hold no
+// locks and are reclaimed when the process exits. Successful runs leave
+// no goroutines behind.
+func (m *Machine) Run(name string, root func(*Thread)) error {
+	if m.ran {
+		return fmt.Errorf("machine: Run called twice")
+	}
+	m.ran = true
+	m.spawnAt(nil, name, 0, -1, root)
+	for len(m.events) > 0 && m.failure == nil {
+		e := heap.Pop(&m.events).(*event)
+		m.now = e.time
+		e.fn()
+	}
+	if m.failure != nil {
+		return m.failure
+	}
+	if m.live > 0 {
+		return fmt.Errorf("machine: deadlock: %d thread(s) still blocked at t=%d: %s",
+			m.live, m.now, m.blockedSummary())
+	}
+	if m.tr != nil && m.tr.Span < m.now {
+		m.tr.Span = m.now
+	}
+	return nil
+}
+
+func (m *Machine) blockedSummary() string {
+	s := ""
+	for _, t := range m.threads {
+		if !t.done {
+			if s != "" {
+				s += ", "
+			}
+			s += fmt.Sprintf("%s(blocked on %s)", t.name, t.blockedOn)
+		}
+	}
+	return s
+}
+
+// fail records a failure and stops the simulation loop.
+func (m *Machine) fail(err error) {
+	if m.failure == nil {
+		m.failure = err
+	}
+}
+
+// runThread hands control to t until it blocks or finishes.
+func (m *Machine) runThread(t *Thread) {
+	t.wake <- struct{}{}
+	<-m.yield
+}
+
+// pickCore returns the least-loaded core: fewest live assigned threads,
+// then least queued cycles, then lowest id.
+func (m *Machine) pickCore() int {
+	best := 0
+	for i := 1; i < len(m.cores); i++ {
+		c, b := m.cores[i], m.cores[best]
+		if c.assigned < b.assigned || (c.assigned == b.assigned && c.loadCy < b.loadCy) {
+			best = i
+		}
+	}
+	return best
+}
+
+// record writes an interval if tracing is enabled.
+func (m *Machine) record(threadID int, cat trace.Category, start, end int64, tag string) {
+	if m.tr != nil {
+		m.tr.Record(threadID, cat, start, end, tag)
+	}
+}
+
+// edge writes a happens-before edge if tracing is enabled.
+func (m *Machine) edge(kind trace.EdgeKind, fromThread int, fromTime int64, toThread int, toTime int64) {
+	if m.tr != nil {
+		m.tr.AddEdge(kind, fromThread, fromTime, toThread, toTime)
+	}
+}

@@ -1,0 +1,684 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"gostats/internal/trace"
+)
+
+// flatConfig returns a config with zeroed overheads so timing assertions
+// are exact: 1 instruction = 1 cycle, no spawn/sync/copy costs.
+func flatConfig(cores int) Config {
+	return Config{
+		Cores:                 cores,
+		Sockets:               1,
+		Quantum:               1000,
+		BaseCPI:               1,
+		CopyBytesPerCycle:     8,
+		CrossSocketCopyFactor: 1,
+		Seed:                  1,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Cores: 4, Sockets: 3, Quantum: 1, BaseCPI: 1, CopyBytesPerCycle: 1},
+		{Cores: 4, Sockets: 2, Quantum: 0, BaseCPI: 1, CopyBytesPerCycle: 1},
+		{Cores: 4, Sockets: 2, Quantum: 1, BaseCPI: 0, CopyBytesPerCycle: 1},
+		{Cores: 4, Sockets: 2, Quantum: 1, BaseCPI: 1, CopyBytesPerCycle: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewChecked(cfg); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewChecked(DefaultConfig(28)); err != nil {
+		t.Fatalf("default 28-core config rejected: %v", err)
+	}
+}
+
+func TestSingleThreadComputeAdvancesTime(t *testing.T) {
+	m := New(flatConfig(1))
+	err := m.Run("root", func(th *Thread) {
+		th.Compute(Work{Instr: 500})
+		if th.Now() != 500 {
+			t.Errorf("after 500 instr at CPI 1, Now() = %d", th.Now())
+		}
+		th.Compute(Work{Instr: 250})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Now() != 750 {
+		t.Fatalf("makespan = %d, want 750", m.Now())
+	}
+}
+
+func TestCPIScalesCycles(t *testing.T) {
+	cfg := flatConfig(1)
+	cfg.BaseCPI = 2
+	m := New(cfg)
+	if err := m.Run("root", func(th *Thread) {
+		th.Compute(Work{Instr: 100})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Now() != 200 {
+		t.Fatalf("100 instr at CPI 2 took %d cycles", m.Now())
+	}
+}
+
+func TestForceCyclesOverridesCPI(t *testing.T) {
+	m := New(flatConfig(1))
+	if err := m.Run("root", func(th *Thread) {
+		th.Compute(Work{Instr: 1000, ForceCycles: 7})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Now() != 7 {
+		t.Fatalf("ForceCycles work took %d cycles, want 7", m.Now())
+	}
+	if m.Accounting().Instr[trace.CatChunkWork] != 1000 {
+		t.Fatal("instructions not accounted with ForceCycles")
+	}
+}
+
+func TestZeroWorkIsFree(t *testing.T) {
+	m := New(flatConfig(1))
+	if err := m.Run("root", func(th *Thread) {
+		th.Compute(Work{})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Now() != 0 {
+		t.Fatalf("zero work advanced time to %d", m.Now())
+	}
+}
+
+func TestParallelThreadsOverlap(t *testing.T) {
+	m := New(flatConfig(2))
+	err := m.Run("root", func(th *Thread) {
+		child := th.Spawn("worker", func(w *Thread) {
+			w.Compute(Work{Instr: 1000})
+		})
+		th.Compute(Work{Instr: 1000})
+		th.Join(child)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With two cores and no overheads the two 1000-cycle computations
+	// overlap: total well under 2000.
+	if m.Now() >= 2000 {
+		t.Fatalf("parallel threads did not overlap: makespan %d", m.Now())
+	}
+}
+
+func TestOversubscriptionTimeslices(t *testing.T) {
+	m := New(flatConfig(1))
+	var childEnd, rootEnd int64
+	err := m.Run("root", func(th *Thread) {
+		child := th.Spawn("other", func(w *Thread) {
+			w.Compute(Work{Instr: 3000})
+			childEnd = w.Now()
+		})
+		th.Compute(Work{Instr: 3000})
+		rootEnd = th.Now()
+		th.Join(child)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One core, two 3000-cycle jobs: both must finish around 6000, and
+	// neither can have run to completion before the other started (that
+	// would mean FIFO-without-preemption).
+	if m.Now() < 6000 {
+		t.Fatalf("two 3000-cycle jobs on one core finished at %d", m.Now())
+	}
+	gap := childEnd - rootEnd
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap > 1100 {
+		t.Fatalf("quantum sharing broken: ends %d and %d differ by %d", rootEnd, childEnd, gap)
+	}
+}
+
+func TestSchedWaitRecordedUnderContention(t *testing.T) {
+	tr := trace.New()
+	m := New(flatConfig(1), WithTrace(tr))
+	err := m.Run("root", func(th *Thread) {
+		c := th.Spawn("w", func(w *Thread) { w.Compute(Work{Instr: 5000}) })
+		th.Compute(Work{Instr: 5000})
+		th.Join(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.CyclesByCategory()[trace.CatSchedWait] == 0 {
+		t.Fatal("no scheduler wait recorded despite 2 threads on 1 core")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+}
+
+func TestSpawnCostCharged(t *testing.T) {
+	cfg := flatConfig(2)
+	cfg.SpawnCost = 100
+	cfg.SpawnLatency = 50
+	m := New(cfg)
+	err := m.Run("root", func(th *Thread) {
+		c := th.Spawn("child", func(w *Thread) {})
+		th.Join(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Accounting().Cycles[trace.CatSpawn]; got != 100 {
+		t.Fatalf("spawn cycles = %d, want 100", got)
+	}
+	if m.ThreadsCreated() != 2 {
+		t.Fatalf("ThreadsCreated = %d", m.ThreadsCreated())
+	}
+}
+
+func TestJoinFinishedThreadIsFree(t *testing.T) {
+	m := New(flatConfig(2))
+	err := m.Run("root", func(th *Thread) {
+		c := th.Spawn("fast", func(w *Thread) {})
+		th.Compute(Work{Instr: 10000}) // child certainly done
+		before := th.Now()
+		th.Join(c)
+		if th.Now() != before {
+			t.Errorf("joining a finished thread advanced time %d -> %d", before, th.Now())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinBlocksUntilChildDone(t *testing.T) {
+	cfg := flatConfig(2)
+	cfg.WakeLatency = 10
+	m := New(cfg)
+	err := m.Run("root", func(th *Thread) {
+		c := th.Spawn("slow", func(w *Thread) { w.Compute(Work{Instr: 5000}) })
+		th.Join(c)
+		if th.Now() < 5000 {
+			t.Errorf("join returned at %d before child finished", th.Now())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	m := New(flatConfig(4))
+	mu := m.NewMutex()
+	inside := 0
+	maxInside := 0
+	err := m.Run("root", func(th *Thread) {
+		var kids []*Thread
+		for i := 0; i < 4; i++ {
+			kids = append(kids, th.Spawn("w", func(w *Thread) {
+				for j := 0; j < 5; j++ {
+					mu.Lock(w)
+					inside++
+					if inside > maxInside {
+						maxInside = inside
+					}
+					w.Compute(Work{Instr: 100})
+					inside--
+					mu.Unlock(w)
+					w.Compute(Work{Instr: 50})
+				}
+			}))
+		}
+		for _, k := range kids {
+			th.Join(k)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxInside != 1 {
+		t.Fatalf("critical section held by %d threads at once", maxInside)
+	}
+}
+
+func TestMutexContentionCostsKernelCycles(t *testing.T) {
+	cfg := flatConfig(2)
+	cfg.MutexCost = 10
+	cfg.KernelWakeCost = 500
+	cfg.WakeLatency = 100
+	m := New(cfg)
+	mu := m.NewMutex()
+	err := m.Run("root", func(th *Thread) {
+		c := th.Spawn("contender", func(w *Thread) {
+			mu.Lock(w)
+			w.Compute(Work{Instr: 10})
+			mu.Unlock(w)
+		})
+		mu.Lock(th)
+		th.Compute(Work{Instr: 2000}) // hold long enough for contention
+		mu.Unlock(th)
+		th.Join(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Accounting().Cycles[trace.CatSyncKernel]; got < 500 {
+		t.Fatalf("kernel sync cycles = %d, want >= KernelWakeCost", got)
+	}
+}
+
+func TestMutexPanicsOnForeignUnlock(t *testing.T) {
+	m := New(flatConfig(2))
+	mu := m.NewMutex()
+	err := m.Run("root", func(th *Thread) {
+		mu.Unlock(th) // never locked
+	})
+	if err == nil || !strings.Contains(err.Error(), "does not hold") {
+		t.Fatalf("foreign unlock not reported: %v", err)
+	}
+}
+
+func TestMutexPanicsOnRecursiveLock(t *testing.T) {
+	m := New(flatConfig(2))
+	mu := m.NewMutex()
+	err := m.Run("root", func(th *Thread) {
+		mu.Lock(th)
+		mu.Lock(th)
+	})
+	if err == nil || !strings.Contains(err.Error(), "already holds") {
+		t.Fatalf("recursive lock not reported: %v", err)
+	}
+}
+
+func TestCondSignalWakesWaiter(t *testing.T) {
+	m := New(flatConfig(2))
+	mu := m.NewMutex()
+	cond := m.NewCond(mu)
+	ready := false
+	err := m.Run("root", func(th *Thread) {
+		c := th.Spawn("waiter", func(w *Thread) {
+			mu.Lock(w)
+			for !ready {
+				cond.Wait(w)
+			}
+			mu.Unlock(w)
+		})
+		th.Compute(Work{Instr: 1000})
+		mu.Lock(th)
+		ready = true
+		cond.Signal(th)
+		mu.Unlock(th)
+		th.Join(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Now() < 1000 {
+		t.Fatalf("waiter finished before the signal: %d", m.Now())
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	m := New(flatConfig(4))
+	mu := m.NewMutex()
+	cond := m.NewCond(mu)
+	released := false
+	woken := 0
+	err := m.Run("root", func(th *Thread) {
+		var kids []*Thread
+		for i := 0; i < 3; i++ {
+			kids = append(kids, th.Spawn("waiter", func(w *Thread) {
+				mu.Lock(w)
+				for !released {
+					cond.Wait(w)
+				}
+				woken++
+				mu.Unlock(w)
+			}))
+		}
+		th.Compute(Work{Instr: 5000}) // let them all park
+		mu.Lock(th)
+		released = true
+		cond.Broadcast(th)
+		mu.Unlock(th)
+		for _, k := range kids {
+			th.Join(k)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if woken != 3 {
+		t.Fatalf("broadcast woke %d of 3 waiters", woken)
+	}
+}
+
+func TestCondWaitRequiresMutex(t *testing.T) {
+	m := New(flatConfig(2))
+	mu := m.NewMutex()
+	cond := m.NewCond(mu)
+	err := m.Run("root", func(th *Thread) {
+		cond.Wait(th)
+	})
+	if err == nil || !strings.Contains(err.Error(), "without holding") {
+		t.Fatalf("cond wait without mutex not reported: %v", err)
+	}
+}
+
+func TestSyncWaitIntervalsRecorded(t *testing.T) {
+	tr := trace.New()
+	cfg := flatConfig(2)
+	cfg.WakeLatency = 100
+	cfg.KernelWakeCost = 200
+	m := New(cfg, WithTrace(tr))
+	mu := m.NewMutex()
+	err := m.Run("root", func(th *Thread) {
+		c := th.Spawn("blocker", func(w *Thread) {
+			mu.Lock(w)
+			w.Compute(Work{Instr: 5})
+			mu.Unlock(w)
+		})
+		mu.Lock(th)
+		th.Compute(Work{Instr: 3000})
+		mu.Unlock(th)
+		th.Join(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.CyclesByCategory()[trace.CatSyncWait] == 0 {
+		t.Fatal("no sync wait recorded for contended mutex")
+	}
+	foundWake := false
+	for _, e := range tr.Edges {
+		if e.Kind == trace.EdgeWake {
+			foundWake = true
+		}
+	}
+	if !foundWake {
+		t.Fatal("no wake edge recorded")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+}
+
+func TestCopyStateCostAndAccounting(t *testing.T) {
+	cfg := flatConfig(2)
+	cfg.CopySetupCost = 100
+	cfg.CopyBytesPerCycle = 8
+	cfg.InstrPerCopiedByte = 0.25
+	m := New(cfg)
+	if err := m.Run("root", func(th *Thread) {
+		th.CopyState(8000, -1, "state")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(100 + 8000/8)
+	if m.Now() != want {
+		t.Fatalf("copy took %d cycles, want %d", m.Now(), want)
+	}
+	if got := m.Accounting().Instr[trace.CatStateCopy]; got != 2000 {
+		t.Fatalf("copy instructions = %d, want 2000", got)
+	}
+}
+
+func TestCrossSocketCopySlower(t *testing.T) {
+	cfg := DefaultConfig(4) // 2 sockets: cores 0,1 and 2,3
+	cfg.SpawnCost = 0
+	cfg.SpawnLatency = 0
+	timeFor := func(srcCore int) int64 {
+		m := New(cfg)
+		var took int64
+		if err := m.Run("root", func(th *Thread) {
+			// Root lands on core 0; copy from same-socket core 1 vs
+			// cross-socket core 3.
+			start := th.Now()
+			th.CopyState(1<<20, srcCore, "s")
+			took = th.Now() - start
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return took
+	}
+	local, remote := timeFor(1), timeFor(3)
+	if remote <= local {
+		t.Fatalf("cross-socket copy (%d) not slower than local (%d)", remote, local)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := New(flatConfig(2))
+	mu := m.NewMutex()
+	cond := m.NewCond(mu)
+	err := m.Run("root", func(th *Thread) {
+		mu.Lock(th)
+		cond.Wait(th) // nobody will ever signal
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("deadlock not detected: %v", err)
+	}
+}
+
+func TestThreadPanicPropagates(t *testing.T) {
+	m := New(flatConfig(2))
+	err := m.Run("root", func(th *Thread) {
+		panic("boom")
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panic not propagated: %v", err)
+	}
+}
+
+func TestRunTwiceRejected(t *testing.T) {
+	m := New(flatConfig(1))
+	if err := m.Run("root", func(th *Thread) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run("again", func(th *Thread) {}); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}
+
+func TestCategoriesAccounted(t *testing.T) {
+	m := New(flatConfig(1))
+	if err := m.Run("root", func(th *Thread) {
+		th.WithCat(trace.CatAltProducer, func() {
+			th.Compute(Work{Instr: 111})
+		})
+		th.WithCat(trace.CatOrigStates, func() {
+			th.Compute(Work{Instr: 222})
+		})
+		if th.Cat() != trace.CatChunkWork {
+			t.Errorf("WithCat did not restore category: %v", th.Cat())
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a := m.Accounting()
+	if a.Instr[trace.CatAltProducer] != 111 || a.Instr[trace.CatOrigStates] != 222 {
+		t.Fatalf("accounting wrong: %+v", a.Instr)
+	}
+	if a.TotalInstr() != 333 {
+		t.Fatalf("TotalInstr = %d", a.TotalInstr())
+	}
+}
+
+func TestDeterministicMakespan(t *testing.T) {
+	run := func() int64 {
+		m := New(DefaultConfig(8))
+		mu := m.NewMutex()
+		total := 0
+		err := m.Run("root", func(th *Thread) {
+			var kids []*Thread
+			for i := 0; i < 16; i++ {
+				i := i
+				kids = append(kids, th.Spawn("w", func(w *Thread) {
+					w.Compute(Work{Instr: int64(1000 * (i + 1))})
+					mu.Lock(w)
+					total++
+					mu.Unlock(w)
+				}))
+			}
+			for _, k := range kids {
+				th.Join(k)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total != 16 {
+			t.Fatalf("only %d workers ran", total)
+		}
+		return m.Now()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("identical simulations diverged: %d vs %d", a, b)
+	}
+}
+
+func TestCoreBusyCyclesConservation(t *testing.T) {
+	m := New(flatConfig(4))
+	err := m.Run("root", func(th *Thread) {
+		var kids []*Thread
+		for i := 0; i < 6; i++ {
+			kids = append(kids, th.Spawn("w", func(w *Thread) {
+				w.Compute(Work{Instr: 10_000})
+			}))
+		}
+		for _, k := range kids {
+			th.Join(k)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var busy int64
+	for _, b := range m.CoreBusyCycles() {
+		busy += b
+	}
+	if busy != m.Accounting().TotalCycles() {
+		t.Fatalf("core busy cycles %d != charged cycles %d", busy, m.Accounting().TotalCycles())
+	}
+}
+
+func TestTraceMakespanMatchesMachine(t *testing.T) {
+	tr := trace.New()
+	m := New(flatConfig(2), WithTrace(tr))
+	err := m.Run("root", func(th *Thread) {
+		c := th.Spawn("w", func(w *Thread) { w.Compute(Work{Instr: 500}) })
+		th.Compute(Work{Instr: 900})
+		th.Join(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Span > m.Now() {
+		t.Fatalf("trace span %d beyond machine time %d", tr.Span, m.Now())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+}
+
+func TestSpawnOnPinsCore(t *testing.T) {
+	m := New(flatConfig(4))
+	err := m.Run("root", func(th *Thread) {
+		c := th.SpawnOn("pinned", 3, func(w *Thread) {
+			if w.Core() != 3 {
+				t.Errorf("pinned thread on core %d", w.Core())
+			}
+		})
+		th.Join(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyThreadsManyLocksStress(t *testing.T) {
+	m := New(DefaultConfig(8))
+	mu := m.NewMutex()
+	cond := m.NewCond(mu)
+	counter := 0
+	const workers = 40
+	err := m.Run("root", func(th *Thread) {
+		var kids []*Thread
+		for i := 0; i < workers; i++ {
+			kids = append(kids, th.Spawn("w", func(w *Thread) {
+				w.Compute(Work{Instr: 5_000})
+				mu.Lock(w)
+				counter++
+				if counter == workers {
+					cond.Broadcast(w)
+				}
+				mu.Unlock(w)
+			}))
+		}
+		mu.Lock(th)
+		for counter < workers {
+			cond.Wait(th)
+		}
+		mu.Unlock(th)
+		for _, k := range kids {
+			th.Join(k)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter != workers {
+		t.Fatalf("counter = %d", counter)
+	}
+}
+
+func TestQuantumFairness(t *testing.T) {
+	// N equal jobs sharing one core must finish within one quantum of
+	// each other under round-robin timeslicing.
+	cfg := flatConfig(1)
+	cfg.Quantum = 1_000
+	m := New(cfg)
+	const jobs = 5
+	ends := make([]int64, jobs)
+	err := m.Run("root", func(th *Thread) {
+		var kids []*Thread
+		for i := 0; i < jobs; i++ {
+			i := i
+			kids = append(kids, th.Spawn("w", func(w *Thread) {
+				w.Compute(Work{Instr: 50_000})
+				ends[i] = w.Now()
+			}))
+		}
+		for _, k := range kids {
+			th.Join(k)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := ends[0], ends[0]
+	for _, e := range ends {
+		if e < lo {
+			lo = e
+		}
+		if e > hi {
+			hi = e
+		}
+	}
+	// Root's own zero work means the workers dominate; the spread must be
+	// within a handful of quanta (arrival offsets included).
+	if hi-lo > 6*cfg.Quantum {
+		t.Fatalf("unfair scheduling: finish spread %d cycles", hi-lo)
+	}
+}

@@ -1,0 +1,80 @@
+package machine
+
+import (
+	"testing"
+
+	"gostats/internal/memsim"
+)
+
+func TestComputeWithMemorySystemAddsStalls(t *testing.T) {
+	run := func(attach bool, footprint int64) (int64, memsim.Counters) {
+		cfg := flatConfig(2)
+		var opts []Option
+		var sys *memsim.System
+		if attach {
+			sys = memsim.MustNewSystem(memsim.DefaultConfig(2, 1))
+			opts = append(opts, WithMemory(sys))
+		}
+		m := New(cfg, opts...)
+		p := &memsim.AccessProfile{
+			Name:    "mi",
+			MemFrac: 0.5,
+			Regions: []memsim.RegionRef{{Name: "mi.r", Bytes: footprint, Frac: 1}},
+		}
+		if err := m.Run("root", func(th *Thread) {
+			th.Compute(Work{Instr: 1_000_000, Access: p})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var c memsim.Counters
+		if sys != nil {
+			c = sys.Totals()
+		}
+		return m.Now(), c
+	}
+
+	bare, _ := run(false, 64<<20)
+	cold, counters := run(true, 64<<20)
+	if cold <= bare {
+		t.Fatalf("cache misses added no latency: %d vs %d", cold, bare)
+	}
+	if counters.L1DAccesses == 0 || counters.L1DMisses == 0 {
+		t.Fatalf("no memory events recorded: %+v", counters)
+	}
+
+	warmT, _ := run(true, 4<<10)
+	if warmT >= cold {
+		t.Fatalf("small footprint (%d cycles) not faster than huge footprint (%d)", warmT, cold)
+	}
+}
+
+func TestComputeWithoutAccessSkipsMemory(t *testing.T) {
+	sys := memsim.MustNewSystem(memsim.DefaultConfig(2, 1))
+	m := New(flatConfig(2), WithMemory(sys))
+	if err := m.Run("root", func(th *Thread) {
+		th.Compute(Work{Instr: 100_000}) // no Access profile
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Totals().L1DAccesses != 0 {
+		t.Fatal("memory system consulted despite nil Access")
+	}
+	if m.Now() != 100_000 { // flat config: CPI 1
+		t.Fatalf("latency perturbed without memory: %d", m.Now())
+	}
+}
+
+func TestCopyStateFeedsMemorySystem(t *testing.T) {
+	sys := memsim.MustNewSystem(memsim.DefaultConfig(2, 1))
+	cfg := flatConfig(2)
+	cfg.InstrPerCopiedByte = 0.25 // copies must charge instructions to reach the caches
+	m := New(cfg, WithMemory(sys))
+	if err := m.Run("root", func(th *Thread) {
+		th.CopyState(512<<10, -1, "big-state")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Totals().L1DAccesses == 0 {
+		t.Fatal("state copy bypassed the memory system")
+	}
+}

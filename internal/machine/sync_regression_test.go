@@ -1,0 +1,131 @@
+package machine
+
+import (
+	"testing"
+
+	"gostats/internal/trace"
+)
+
+// TestCondWaitWithContendedMutexTraceValid is a regression test: a thread
+// entering Cond.Wait while other threads are queued on the mutex used to
+// charge the futex-wake cost on its own timeline *after* marking itself
+// blocked, producing overlapping trace intervals (and risking an early
+// signal resuming it while it still held the CPU).
+func TestCondWaitWithContendedMutexTraceValid(t *testing.T) {
+	tr := trace.New()
+	cfg := DefaultConfig(4)
+	m := New(cfg, WithTrace(tr))
+	mu := m.NewMutex()
+	cond := m.NewCond(mu)
+	stage := 0
+	err := m.Run("root", func(th *Thread) {
+		var kids []*Thread
+		// Several contenders keep the mutex waiter queue non-empty.
+		for i := 0; i < 3; i++ {
+			kids = append(kids, th.Spawn("contender", func(w *Thread) {
+				for j := 0; j < 10; j++ {
+					mu.Lock(w)
+					w.Compute(Work{Instr: 2_000})
+					if stage == 1 {
+						stage = 2
+						cond.Signal(w)
+					}
+					mu.Unlock(w)
+					w.Compute(Work{Instr: 500})
+				}
+			}))
+		}
+		// Root waits on the condvar while contenders hold/queue on mu:
+		// releaseForWait must hand the mutex off without occupying root.
+		mu.Lock(th)
+		stage = 1
+		for stage != 2 {
+			cond.Wait(th)
+		}
+		mu.Unlock(th)
+		for _, k := range kids {
+			th.Join(k)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace invalid after condvar contention: %v", err)
+	}
+	if stage != 2 {
+		t.Fatal("signal lost")
+	}
+}
+
+// TestCondWaitHandoffLatencyIncludesKernelCost verifies that the folded
+// kernel cost of releaseForWait delays the handed-off mutex waiter.
+func TestCondWaitHandoffLatencyIncludesKernelCost(t *testing.T) {
+	run := func(kernelCost int64) int64 {
+		cfg := DefaultConfig(2)
+		cfg.KernelWakeCost = kernelCost
+		m := New(cfg)
+		mu := m.NewMutex()
+		cond := m.NewCond(mu)
+		signalled := false
+		err := m.Run("root", func(th *Thread) {
+			// Contender queues on the mutex, then (after handoff) signals.
+			c := th.Spawn("contender", func(w *Thread) {
+				mu.Lock(w) // queued while root holds mu
+				signalled = true
+				cond.Signal(w)
+				mu.Unlock(w)
+			})
+			mu.Lock(th)
+			th.Compute(Work{Instr: 50_000}) // let the contender queue up
+			for !signalled {
+				cond.Wait(th) // hands mu to the contender via releaseForWait
+			}
+			mu.Unlock(th)
+			th.Join(c)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Now()
+	}
+	cheap, expensive := run(100), run(50_000)
+	if expensive <= cheap {
+		t.Fatalf("kernel cost not reflected in handoff latency: %d vs %d", cheap, expensive)
+	}
+}
+
+// TestCrossSocketWakeSlower verifies the NUMA wake penalty.
+func TestCrossSocketWakeSlower(t *testing.T) {
+	cfg := DefaultConfig(4) // sockets: {0,1} and {2,3}
+	cfg.CrossSocketWakeExtra = 50_000
+	wakeTime := func(wakerCore, sleeperCore int) int64 {
+		m := New(cfg)
+		mu := m.NewMutex()
+		var resumed int64
+		err := m.Run("root", func(th *Thread) {
+			waker := th.SpawnOn("waker", wakerCore, func(w *Thread) {
+				mu.Lock(w)
+				w.Compute(Work{Instr: 100_000}) // sleeper queues up meanwhile
+				mu.Unlock(w)                    // handoff
+			})
+			sleeper := th.SpawnOn("sleeper", sleeperCore, func(w *Thread) {
+				w.Compute(Work{Instr: 10_000}) // let the waker grab the lock
+				mu.Lock(w)
+				resumed = w.Now()
+				mu.Unlock(w)
+			})
+			th.Join(sleeper)
+			th.Join(waker)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resumed
+	}
+	same := wakeTime(0, 1)
+	cross := wakeTime(0, 3)
+	if cross <= same {
+		t.Fatalf("cross-socket wake (%d) not slower than same-socket (%d)", cross, same)
+	}
+}

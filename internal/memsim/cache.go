@@ -1,0 +1,211 @@
+// Package memsim simulates the architecture-visible effects the paper
+// measures in §V-D: data-cache misses at L1D/L2/LLC and branch
+// mispredictions.
+//
+// The original study reads hardware performance counters on a dual-socket
+// Haswell Xeon. This reproduction replaces the hardware with (i) a real
+// set-associative, LRU, three-level cache hierarchy wired to the simulated
+// machine's topology (per-core L1D and L2, per-socket shared LLC) and (ii)
+// a gshare branch predictor per core. Because simulated workloads charge
+// billions of instructions, the simulator is *sampling*: each unit of work
+// describes its memory behaviour with an AccessProfile; a bounded number
+// of synthetic accesses is drawn from the profile, pushed through the real
+// cache/predictor structures, and the observed miss ratios are
+// extrapolated to the charged access counts. Cache and predictor state
+// persists across work units, so temporal locality between program phases
+// (which STATS chunking breaks, per the paper) is captured.
+package memsim
+
+import "fmt"
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	SizeBytes int64
+	LineBytes int64
+	Ways      int
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c CacheConfig) Sets() int64 {
+	return c.SizeBytes / (c.LineBytes * int64(c.Ways))
+}
+
+func (c CacheConfig) validate(name string) error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("memsim: %s cache has non-positive geometry: %+v", name, c)
+	}
+	if c.SizeBytes%(c.LineBytes*int64(c.Ways)) != 0 {
+		return fmt.Errorf("memsim: %s cache size %d not divisible by line*ways", name, c.SizeBytes)
+	}
+	s := c.Sets()
+	if s&(s-1) != 0 {
+		return fmt.Errorf("memsim: %s cache set count %d is not a power of two", name, s)
+	}
+	return nil
+}
+
+// cache is a set-associative cache with true-LRU replacement.
+type cache struct {
+	cfg      CacheConfig
+	setMask  uint64
+	lineBits uint
+	// tags[set*ways+way] holds the line tag; lru holds recency order
+	// (higher = more recent).
+	tags     []uint64
+	valid    []bool
+	lru      []uint32
+	lruClock uint32
+
+	accesses uint64
+	misses   uint64
+}
+
+func newCache(cfg CacheConfig) *cache {
+	sets := cfg.Sets()
+	n := int(sets) * cfg.Ways
+	c := &cache{
+		cfg:     cfg,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, n),
+		valid:   make([]bool, n),
+		lru:     make([]uint32, n),
+	}
+	b := uint(0)
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		b++
+	}
+	c.lineBits = b
+	return c
+}
+
+// access looks up addr, updating LRU state; it returns true on hit. On a
+// miss the line is installed (allocate-on-miss for both loads and stores).
+func (c *cache) access(addr uint64) bool {
+	c.accesses++
+	line := addr >> c.lineBits
+	set := line & c.setMask
+	base := int(set) * c.cfg.Ways
+	c.lruClock++
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.lru[i] = c.lruClock
+			return true
+		}
+	}
+	c.misses++
+	// Install in an invalid way or evict the LRU way.
+	victim := base
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			break
+		}
+		if c.lru[i] < c.lru[victim] {
+			victim = i
+		}
+	}
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.lru[victim] = c.lruClock
+	return false
+}
+
+// gshare is a global-history branch predictor with 2-bit saturating
+// counters.
+type gshare struct {
+	table    []uint8
+	mask     uint64
+	history  uint64
+	branches uint64
+	mispred  uint64
+}
+
+func newGshare(bits uint) *gshare {
+	return &gshare{table: make([]uint8, 1<<bits), mask: (1 << bits) - 1}
+}
+
+// predictAndUpdate runs one branch through the predictor; it returns true
+// if the prediction was wrong.
+func (g *gshare) predictAndUpdate(pc uint64, taken bool) bool {
+	// Real gshare implementations use a bounded history; 8 bits keeps
+	// biased branches learnable under sampled (sparse) training.
+	idx := (pc ^ (g.history & 0xff)) & g.mask
+	ctr := g.table[idx]
+	predictTaken := ctr >= 2
+	wrong := predictTaken != taken
+	if taken {
+		if ctr < 3 {
+			g.table[idx] = ctr + 1
+		}
+	} else if ctr > 0 {
+		g.table[idx] = ctr - 1
+	}
+	g.history = g.history<<1 | boolBit(taken)
+	g.branches++
+	if wrong {
+		g.mispred++
+	}
+	return wrong
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// RegionRef points a fraction of a work unit's accesses at a named address
+// region. Named regions receive stable base addresses, so two work units
+// naming the same region (e.g. the same computational state buffer) share
+// cache lines — and two *different* states (different names) do not, which
+// is how STATS's extra states show up as locality loss.
+type RegionRef struct {
+	// Name identifies the region; equal names alias to the same addresses.
+	Name string
+	// Bytes is the region size (the footprint of this reference).
+	Bytes int64
+	// Frac is the fraction of the work unit's accesses that fall in this
+	// region. Fractions across a profile should sum to (about) 1.
+	Frac float64
+	// Stride, when non-zero, walks the region sequentially with this byte
+	// stride (streaming behaviour); when zero, accesses are uniformly
+	// random within the region (pointer-chasing behaviour).
+	Stride int64
+}
+
+// AccessProfile describes the memory and branch behaviour of a unit of
+// charged work.
+type AccessProfile struct {
+	// Name seeds stable branch-site addresses for this kind of work.
+	Name string
+	// MemFrac is data accesses per instruction (Haswell-era codes are
+	// typically 0.3–0.5).
+	MemFrac float64
+	// Regions distributes those accesses over address regions.
+	Regions []RegionRef
+	// BranchFrac is branches per instruction (typically 0.1–0.2).
+	BranchFrac float64
+	// BranchBias in [0.5, 1] is the probability that a branch goes its
+	// dominant direction; 1.0 is perfectly predictable, 0.5 is noise.
+	BranchBias float64
+	// BranchSites is the number of distinct static branches to model.
+	BranchSites int
+}
+
+// Scaled returns a copy of the profile with all region footprints scaled
+// by f (used when a chunk touches a subset of the input).
+func (p AccessProfile) Scaled(f float64) AccessProfile {
+	q := p
+	q.Regions = append([]RegionRef(nil), p.Regions...)
+	for i := range q.Regions {
+		b := int64(float64(q.Regions[i].Bytes) * f)
+		if b < 64 {
+			b = 64
+		}
+		q.Regions[i].Bytes = b
+	}
+	return q
+}

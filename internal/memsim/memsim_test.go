@@ -1,0 +1,383 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallSystem(t *testing.T) *System {
+	t.Helper()
+	cfg := DefaultConfig(4, 2)
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCacheConfigValidation(t *testing.T) {
+	good := CacheConfig{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8}
+	if err := good.validate("t"); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []CacheConfig{
+		{SizeBytes: 0, LineBytes: 64, Ways: 8},
+		{SizeBytes: 1000, LineBytes: 64, Ways: 8},    // not divisible
+		{SizeBytes: 3 << 10, LineBytes: 64, Ways: 8}, // 6 sets: not power of two
+	}
+	for i, c := range bad {
+		if err := c.validate("t"); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := newCache(CacheConfig{SizeBytes: 1 << 10, LineBytes: 64, Ways: 2})
+	if c.access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.access(0x1000) {
+		t.Fatal("second access to same address missed")
+	}
+	if !c.access(0x1004) {
+		t.Fatal("same-line access missed")
+	}
+	if c.accesses != 3 || c.misses != 1 {
+		t.Fatalf("counters = %d accesses, %d misses", c.accesses, c.misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way cache: three distinct lines mapping to the same set must evict
+	// the least recently used.
+	cfg := CacheConfig{SizeBytes: 2 * 64 * 4, LineBytes: 64, Ways: 2} // 4 sets
+	c := newCache(cfg)
+	setStride := uint64(4 * 64) // addresses this far apart share a set
+	a, b, d := uint64(0), setStride, 2*setStride
+	c.access(a) // miss, install
+	c.access(b) // miss, install
+	c.access(a) // hit, refresh a
+	c.access(d) // miss, evicts b (LRU)
+	if !c.access(a) {
+		t.Fatal("recently used line a was evicted")
+	}
+	if c.access(b) {
+		t.Fatal("evicted line b still hit")
+	}
+}
+
+func TestCacheWorkingSetFits(t *testing.T) {
+	c := newCache(CacheConfig{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8})
+	// Touch an 8 KB working set twice; second pass must be all hits.
+	for pass := 0; pass < 2; pass++ {
+		misses := c.misses
+		for addr := uint64(0); addr < 8<<10; addr += 64 {
+			c.access(addr)
+		}
+		if pass == 1 && c.misses != misses {
+			t.Fatalf("second pass over fitting working set missed %d times", c.misses-misses)
+		}
+	}
+}
+
+func TestGshareLearnsStableBranch(t *testing.T) {
+	g := newGshare(10)
+	wrongLate := 0
+	for i := 0; i < 2000; i++ {
+		wrong := g.predictAndUpdate(0xabc, true)
+		if i > 100 && wrong {
+			wrongLate++
+		}
+	}
+	if wrongLate != 0 {
+		t.Fatalf("always-taken branch mispredicted %d times after warmup", wrongLate)
+	}
+}
+
+func TestGshareRandomBranchMispredicts(t *testing.T) {
+	g := newGshare(10)
+	s := smallSystem(t)
+	wrong := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if g.predictAndUpdate(0xdef, s.rnd.Bool(0.5)) {
+			wrong++
+		}
+	}
+	if rate := float64(wrong) / n; rate < 0.3 {
+		t.Fatalf("unpredictable branch mispredict rate %g suspiciously low", rate)
+	}
+}
+
+func TestSystemTopologyValidation(t *testing.T) {
+	cfg := DefaultConfig(4, 2)
+	cfg.Cores = 5 // not divisible by sockets
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+	cfg = DefaultConfig(4, 2)
+	cfg.SampleCap = 0
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("zero sample cap accepted")
+	}
+}
+
+func TestSocketMapping(t *testing.T) {
+	s := smallSystem(t) // 4 cores, 2 sockets
+	wants := []int{0, 0, 1, 1}
+	for core, want := range wants {
+		if got := s.socketOf(core); got != want {
+			t.Errorf("socketOf(%d) = %d, want %d", core, got, want)
+		}
+	}
+}
+
+func TestRegionBaseStableAndDisjoint(t *testing.T) {
+	s := smallSystem(t)
+	a1 := s.base("state0", 1000)
+	b := s.base("state1", 1000)
+	a2 := s.base("state0", 1000)
+	if a1 != a2 {
+		t.Fatal("same region name produced different base addresses")
+	}
+	if a1 == b {
+		t.Fatal("different regions share a base address")
+	}
+	if diff := int64(b) - int64(a1); diff > 0 && diff < 1000 {
+		t.Fatalf("regions overlap: bases %d and %d with size 1000", a1, b)
+	}
+}
+
+func TestProcessSmallFootprintMostlyHits(t *testing.T) {
+	s := smallSystem(t)
+	p := AccessProfile{
+		Name:    "hot",
+		MemFrac: 0.4,
+		Regions: []RegionRef{{Name: "tiny", Bytes: 4 << 10, Frac: 1}},
+	}
+	// Warm up, then measure.
+	s.Process(0, 1_000_000, p)
+	s.Reset()
+	s.Process(0, 1_000_000, p)
+	tot := s.Totals()
+	if tot.L1DAccesses == 0 {
+		t.Fatal("no accesses recorded")
+	}
+	if rate := tot.L1DRate(); rate > 0.05 {
+		t.Fatalf("4KB working set in 32KB L1 missing at rate %g", rate)
+	}
+}
+
+func TestProcessHugeFootprintMissesEverywhere(t *testing.T) {
+	s := smallSystem(t)
+	p := AccessProfile{
+		Name:    "cold",
+		MemFrac: 0.4,
+		Regions: []RegionRef{{Name: "huge", Bytes: 256 << 20, Frac: 1}},
+	}
+	s.Process(0, 2_000_000, p)
+	tot := s.Totals()
+	if rate := tot.L1DRate(); rate < 0.9 {
+		t.Fatalf("256MB random footprint hit too often in L1: miss rate %g", rate)
+	}
+	if rate := tot.LLCRate(); rate < 0.8 {
+		t.Fatalf("256MB random footprint hit too often in LLC: miss rate %g", rate)
+	}
+}
+
+func TestProcessStridedStreamingHitsLines(t *testing.T) {
+	s := smallSystem(t)
+	p := AccessProfile{
+		Name:    "stream",
+		MemFrac: 0.4,
+		// 8-byte stride over a big array: 8 accesses per 64B line -> ~12.5%
+		// L1 miss rate.
+		Regions: []RegionRef{{Name: "arr", Bytes: 64 << 20, Frac: 1, Stride: 8}},
+	}
+	s.Process(0, 2_000_000, p)
+	rate := s.Totals().L1DRate()
+	if rate < 0.08 || rate > 0.20 {
+		t.Fatalf("streaming L1D miss rate %g, want ~0.125", rate)
+	}
+}
+
+func TestProcessExtrapolatesCounts(t *testing.T) {
+	s := smallSystem(t)
+	p := AccessProfile{
+		Name:    "big",
+		MemFrac: 0.5,
+		Regions: []RegionRef{{Name: "r", Bytes: 1 << 20, Frac: 1}},
+	}
+	const instr = 10_000_000_000 // far beyond the sample cap
+	s.Process(0, instr, p)
+	tot := s.Totals()
+	want := float64(instr) * 0.5
+	if tot.L1DAccesses < want*0.99 || tot.L1DAccesses > want*1.01 {
+		t.Fatalf("extrapolated accesses %g, want ~%g", tot.L1DAccesses, want)
+	}
+}
+
+func TestProcessBranchCounters(t *testing.T) {
+	s := smallSystem(t)
+	p := AccessProfile{
+		Name:        "br",
+		BranchFrac:  0.2,
+		BranchBias:  0.6,
+		BranchSites: 16,
+	}
+	// Warm the predictor tables first: sampling means a single call sees
+	// mostly cold counters.
+	for i := 0; i < 20; i++ {
+		s.Process(1, 5_000_000, p)
+	}
+	s.Reset()
+	s.Process(1, 5_000_000, p)
+	tot := s.Totals()
+	if tot.Branches == 0 {
+		t.Fatal("no branches recorded")
+	}
+	rate := tot.BranchRate()
+	if rate <= 0.02 || rate >= 0.55 {
+		t.Fatalf("branch mispredict rate %g for bias 0.6 is implausible", rate)
+	}
+}
+
+func TestPredictableBranchesLowMispredicts(t *testing.T) {
+	s := smallSystem(t)
+	p := AccessProfile{Name: "pred", BranchFrac: 0.2, BranchBias: 1.0, BranchSites: 4}
+	s.Process(0, 1_000_000, p) // warmup
+	s.Reset()
+	s.Process(0, 5_000_000, p)
+	if rate := s.Totals().BranchRate(); rate > 0.02 {
+		t.Fatalf("fully biased branches mispredicted at rate %g", rate)
+	}
+}
+
+func TestProcessZeroWorkIsFree(t *testing.T) {
+	s := smallSystem(t)
+	r := s.Process(0, 0, AccessProfile{MemFrac: 1, Regions: []RegionRef{{Name: "x", Bytes: 100, Frac: 1}}})
+	if r.ExtraCycles != 0 || r.Counters.L1DAccesses != 0 {
+		t.Fatalf("zero instructions produced work: %+v", r)
+	}
+}
+
+func TestProcessPanicsOnBadCore(t *testing.T) {
+	s := smallSystem(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range core did not panic")
+		}
+	}()
+	s.Process(99, 100, AccessProfile{})
+}
+
+func TestStallCyclesGrowWithFootprint(t *testing.T) {
+	s := smallSystem(t)
+	small := AccessProfile{Name: "s", MemFrac: 0.4,
+		Regions: []RegionRef{{Name: "small", Bytes: 8 << 10, Frac: 1}}}
+	large := AccessProfile{Name: "l", MemFrac: 0.4,
+		Regions: []RegionRef{{Name: "large", Bytes: 128 << 20, Frac: 1}}}
+	s.Process(0, 1_000_000, small) // warm
+	rs := s.Process(0, 1_000_000, small)
+	rl := s.Process(1, 1_000_000, large)
+	if rl.ExtraCycles <= rs.ExtraCycles {
+		t.Fatalf("large footprint (%d stall cycles) not slower than small (%d)",
+			rl.ExtraCycles, rs.ExtraCycles)
+	}
+}
+
+func TestSharedLLCAcrossCoresSameSocket(t *testing.T) {
+	s := smallSystem(t)
+	// A 64 KB region is small enough for the sampled accesses to cover
+	// every line during warmup.
+	p := AccessProfile{Name: "sh", MemFrac: 0.4,
+		Regions: []RegionRef{{Name: "shared", Bytes: 64 << 10, Frac: 1}}}
+	// Core 0 warms the shared region into socket 0's LLC.
+	for i := 0; i < 8; i++ {
+		s.Process(0, 4_000_000, p)
+	}
+	s.Reset()
+	// Core 1 (same socket) should find it in LLC: LLC misses low.
+	s.Process(1, 4_000_000, p)
+	tot := s.Totals()
+	if tot.LLCAccesses == 0 {
+		t.Skip("core 1 hit everything in private caches; nothing reached LLC")
+	}
+	if rate := tot.LLCRate(); rate > 0.2 {
+		t.Fatalf("same-socket LLC sharing broken: miss rate %g", rate)
+	}
+}
+
+func TestCountersAddAndRates(t *testing.T) {
+	var c Counters
+	c.Add(Counters{L1DAccesses: 10, L1DMisses: 5, Branches: 4, Mispredicts: 1})
+	c.Add(Counters{L1DAccesses: 10, L1DMisses: 0})
+	if c.L1DRate() != 0.25 {
+		t.Fatalf("L1DRate = %g, want 0.25", c.L1DRate())
+	}
+	if c.BranchRate() != 0.25 {
+		t.Fatalf("BranchRate = %g", c.BranchRate())
+	}
+	var zero Counters
+	if zero.L1DRate() != 0 || zero.BranchRate() != 0 {
+		t.Fatal("zero counters should have zero rates")
+	}
+}
+
+func TestScaledProfile(t *testing.T) {
+	p := AccessProfile{Regions: []RegionRef{{Name: "a", Bytes: 1000, Frac: 1}}}
+	q := p.Scaled(0.5)
+	if q.Regions[0].Bytes != 500 {
+		t.Fatalf("Scaled bytes = %d", q.Regions[0].Bytes)
+	}
+	if p.Regions[0].Bytes != 1000 {
+		t.Fatal("Scaled mutated the original profile")
+	}
+	tiny := p.Scaled(0.000001)
+	if tiny.Regions[0].Bytes < 64 {
+		t.Fatal("Scaled should clamp to a cache line")
+	}
+}
+
+func TestPropertyMissesNeverExceedAccesses(t *testing.T) {
+	s := smallSystem(t)
+	f := func(instr uint32, memFrac, brFrac uint8, footprintKB uint16) bool {
+		p := AccessProfile{
+			Name:        "prop",
+			MemFrac:     float64(memFrac%60) / 100,
+			BranchFrac:  float64(brFrac%30) / 100,
+			BranchBias:  0.8,
+			BranchSites: 8,
+			Regions:     []RegionRef{{Name: "propr", Bytes: int64(footprintKB)*1024 + 64, Frac: 1}},
+		}
+		s.Reset()
+		s.Process(int(instr)%4, int64(instr%1_000_000), p)
+		c := s.Totals()
+		return c.L1DMisses <= c.L1DAccesses+1e-6 &&
+			c.L2Misses <= c.L2Accesses+1e-6 &&
+			c.LLCMisses <= c.LLCAccesses+1e-6 &&
+			c.Mispredicts <= c.Branches+1e-6 &&
+			c.L2Accesses <= c.L1DMisses+1e-6 &&
+			c.LLCAccesses <= c.L2Misses+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() Counters {
+		s := MustNewSystem(DefaultConfig(4, 2))
+		p := AccessProfile{Name: "det", MemFrac: 0.4, BranchFrac: 0.1, BranchBias: 0.7, BranchSites: 8,
+			Regions: []RegionRef{{Name: "d", Bytes: 1 << 20, Frac: 1}}}
+		for i := 0; i < 10; i++ {
+			s.Process(i%4, 500_000, p)
+		}
+		return s.Totals()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("identical runs diverged:\n%+v\n%+v", a, b)
+	}
+}

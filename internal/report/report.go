@@ -1,0 +1,231 @@
+// Package report renders experiment results as ASCII tables, bar charts
+// and stacked bars (the textual equivalents of the paper's tables and
+// figures), plus CSV for external plotting.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row; cells beyond the header are dropped.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table in aligned ASCII form.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	sep := make([]string, len(widths))
+	for i, wd := range widths {
+		sep[i] = strings.Repeat("-", wd)
+	}
+	line(t.Header)
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// WriteCSV emits the header and rows as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// BarItem is one bar.
+type BarItem struct {
+	Label string
+	Value float64
+	// Note is appended after the value (e.g. commit counts).
+	Note string
+}
+
+// BarChart renders horizontal bars scaled to the maximum value.
+type BarChart struct {
+	Title string
+	Unit  string
+	Items []BarItem
+	// Width is the bar area width in characters (default 40).
+	Width int
+	// Max overrides auto-scaling when positive.
+	Max float64
+}
+
+// Render writes the chart.
+func (b *BarChart) Render(w io.Writer) {
+	if b.Title != "" {
+		fmt.Fprintf(w, "%s\n", b.Title)
+	}
+	width := b.Width
+	if width <= 0 {
+		width = 40
+	}
+	max := b.Max
+	if max <= 0 {
+		for _, it := range b.Items {
+			if it.Value > max {
+				max = it.Value
+			}
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	labelW := 0
+	for _, it := range b.Items {
+		if len(it.Label) > labelW {
+			labelW = len(it.Label)
+		}
+	}
+	for _, it := range b.Items {
+		n := int(it.Value / max * float64(width))
+		if n > width {
+			n = width
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(w, "  %s |%s%s| %.2f%s %s\n",
+			pad(it.Label, labelW),
+			strings.Repeat("#", n), strings.Repeat(" ", width-n),
+			it.Value, b.Unit, it.Note)
+	}
+}
+
+// StackedItem is one composed bar (e.g. a benchmark's loss breakdown).
+type StackedItem struct {
+	Label string
+	Parts []float64
+	// Note annotates the bar end (e.g. the total loss, like the numbers
+	// at the right of the paper's Fig. 10 bars).
+	Note string
+}
+
+// Stacked renders bars whose segments use one glyph per legend entry.
+type Stacked struct {
+	Title  string
+	Legend []string
+	Items  []StackedItem
+	// Scale maps part values to characters (default: total width 60 for
+	// the max total).
+	Width int
+}
+
+var glyphs = []byte{'#', '=', '+', 'o', '~', '.', '*', '%'}
+
+// Render writes the stacked chart with its legend.
+func (s *Stacked) Render(w io.Writer) {
+	if s.Title != "" {
+		fmt.Fprintf(w, "%s\n", s.Title)
+	}
+	width := s.Width
+	if width <= 0 {
+		width = 60
+	}
+	max := 0.0
+	for _, it := range s.Items {
+		t := 0.0
+		for _, p := range it.Parts {
+			t += p
+		}
+		if t > max {
+			max = t
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	labelW := 0
+	for _, it := range s.Items {
+		if len(it.Label) > labelW {
+			labelW = len(it.Label)
+		}
+	}
+	for _, it := range s.Items {
+		var sb strings.Builder
+		for pi, p := range it.Parts {
+			n := int(p / max * float64(width))
+			g := glyphs[pi%len(glyphs)]
+			sb.Write(bytesRepeat(g, n))
+		}
+		fmt.Fprintf(w, "  %s |%s| %s\n", pad(it.Label, labelW), pad(sb.String(), width), it.Note)
+	}
+	fmt.Fprintf(w, "  legend:")
+	for i, l := range s.Legend {
+		fmt.Fprintf(w, " %c=%s", glyphs[i%len(glyphs)], l)
+	}
+	fmt.Fprintln(w)
+}
+
+func bytesRepeat(b byte, n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+// Billions formats a count as billions with one decimal.
+func Billions(v float64) string { return fmt.Sprintf("%.2fB", v/1e9) }
+
+// Pct formats a ratio as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// F2 formats with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Speedup formats a speedup factor.
+func Speedup(v float64) string { return fmt.Sprintf("%.2fx", v) }

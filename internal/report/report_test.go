@@ -1,0 +1,139 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAligned(t *testing.T) {
+	tb := &Table{
+		Title:  "Test",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22222")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Test") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// All table lines must have equal width.
+	for i := 2; i < len(lines); i++ {
+		if len(lines[i]) != len(lines[1]) {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow("x", "1")
+	tb.AddRow("y,z", "2") // needs quoting
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("csv header wrong: %q", out)
+	}
+	if !strings.Contains(out, `"y,z"`) {
+		t.Fatalf("csv quoting missing: %q", out)
+	}
+}
+
+func TestBarChartScaling(t *testing.T) {
+	b := &BarChart{
+		Title: "Speedups",
+		Unit:  "x",
+		Width: 20,
+		Items: []BarItem{
+			{Label: "full", Value: 10},
+			{Label: "half", Value: 5},
+			{Label: "zero", Value: 0},
+		},
+	}
+	var buf bytes.Buffer
+	b.Render(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	full := strings.Count(lines[1], "#")
+	half := strings.Count(lines[2], "#")
+	zero := strings.Count(lines[3], "#")
+	if full != 20 || half != 10 || zero != 0 {
+		t.Fatalf("bar lengths %d/%d/%d, want 20/10/0", full, half, zero)
+	}
+}
+
+func TestBarChartExplicitMax(t *testing.T) {
+	b := &BarChart{Width: 10, Max: 100, Items: []BarItem{{Label: "a", Value: 50}}}
+	var buf bytes.Buffer
+	b.Render(&buf)
+	if got := strings.Count(buf.String(), "#"); got != 5 {
+		t.Fatalf("bar length %d, want 5", got)
+	}
+}
+
+func TestBarChartClampsOverflow(t *testing.T) {
+	b := &BarChart{Width: 10, Max: 10, Items: []BarItem{{Label: "a", Value: 1000}, {Label: "b", Value: -5}}}
+	var buf bytes.Buffer
+	b.Render(&buf) // must not panic on out-of-range values
+	if !strings.Contains(buf.String(), "##########") {
+		t.Fatal("overflow bar not clamped to width")
+	}
+}
+
+func TestStackedRender(t *testing.T) {
+	s := &Stacked{
+		Title:  "Loss",
+		Legend: []string{"sync", "extra"},
+		Width:  30,
+		Items: []StackedItem{
+			{Label: "bench1", Parts: []float64{10, 20}, Note: "30% lost"},
+			{Label: "bench2", Parts: []float64{5, 0}, Note: "5% lost"},
+		},
+	}
+	var buf bytes.Buffer
+	s.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "legend: #=sync ==extra") {
+		t.Fatalf("legend wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "30% lost") {
+		t.Fatal("missing note")
+	}
+	// bench1: 10/30 and 20/30 of width 30 => 10 '#' and 20 '='.
+	if !strings.Contains(out, strings.Repeat("#", 10)+strings.Repeat("=", 20)) {
+		t.Fatalf("stacked segments wrong:\n%s", out)
+	}
+}
+
+func TestStackedEmptyPartsSafe(t *testing.T) {
+	s := &Stacked{Legend: []string{"x"}, Items: []StackedItem{{Label: "a", Parts: nil}}}
+	var buf bytes.Buffer
+	s.Render(&buf) // must not panic or divide by zero
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if Billions(2.5e9) != "2.50B" {
+		t.Fatalf("Billions = %q", Billions(2.5e9))
+	}
+	if Pct(0.123) != "12.3%" {
+		t.Fatalf("Pct = %q", Pct(0.123))
+	}
+	if F2(1.005) == "" || Speedup(3.14159) != "3.14x" {
+		t.Fatalf("Speedup = %q", Speedup(3.14159))
+	}
+}

@@ -1,0 +1,244 @@
+package stat
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almost(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %g, want %g", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance of this classic example is 32/7.
+	if got := Variance(xs); !almost(got, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %g, want %g", got, 32.0/7.0)
+	}
+	if got := StdDev(xs); !almost(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("StdDev = %g", got)
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Fatal("variance of a single sample should be 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("Median odd = %g", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("Median even = %g", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Fatalf("Median empty = %g", got)
+	}
+}
+
+func TestPercentileEndpoints(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Fatalf("P0 = %g", got)
+	}
+	if got := Percentile(xs, 100); got != 40 {
+		t.Fatalf("P100 = %g", got)
+	}
+	if got := Percentile(xs, 50); got != 25 {
+		t.Fatalf("P50 = %g", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Percentile mutated its input: %v", xs)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(g, 4, 1e-12) {
+		t.Fatalf("GeoMean = %g, want 4", g)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Fatal("GeoMean(nil) should error")
+	}
+	if _, err := GeoMean([]float64{1, -2}); err == nil {
+		t.Fatal("GeoMean with negative value should error")
+	}
+	if _, err := GeoMean([]float64{0}); err == nil {
+		t.Fatal("GeoMean with zero should error")
+	}
+}
+
+func TestMustGeoMeanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGeoMean with invalid input did not panic")
+		}
+	}()
+	MustGeoMean([]float64{0})
+}
+
+func TestConvergedRule(t *testing.T) {
+	// All samples equal: converged as soon as minRuns reached.
+	same := []float64{10, 10, 10}
+	if Converged(same, 5, 0.95, 0.05) {
+		t.Fatal("should not converge below minRuns")
+	}
+	if !Converged(same, 3, 0.95, 0.05) {
+		t.Fatal("identical samples at minRuns should converge")
+	}
+	// One far outlier among 20 tight samples: 19/20 = 95% within -> converged.
+	xs := make([]float64, 19)
+	for i := range xs {
+		xs[i] = 100
+	}
+	xs = append(xs, 1000)
+	if !Converged(xs, 5, 0.95, 0.05) {
+		t.Fatal("19/20 within tolerance should satisfy the 95% rule")
+	}
+	// Two outliers among 20: 90% within -> not converged.
+	xs[0] = 1000
+	if Converged(xs, 5, 0.95, 0.05) {
+		t.Fatal("18/20 within tolerance should not satisfy the 95% rule")
+	}
+}
+
+func TestConvergedZeroMedian(t *testing.T) {
+	if !Converged([]float64{0, 0, 0}, 3, 0.95, 0.05) {
+		t.Fatal("zero-median samples should trivially converge")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	s := Summarize(xs)
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if s.P25 != 2 || s.P75 != 4 {
+		t.Fatalf("quartiles wrong: %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Fatalf("empty Summarize = %+v", empty)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	h := NewHistogram(xs, 5)
+	if len(h.Edges) != 6 || len(h.Counts) != 5 {
+		t.Fatalf("histogram shape wrong: %d edges %d counts", len(h.Edges), len(h.Counts))
+	}
+	if h.Total() != len(xs) {
+		t.Fatalf("Total = %d, want %d", h.Total(), len(xs))
+	}
+	for i, c := range h.Counts {
+		if c != 2 {
+			t.Fatalf("bin %d count %d, want 2 (uniform input)", i, c)
+		}
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram([]float64{5, 5, 5}, 4)
+	if h.Total() != 3 {
+		t.Fatalf("degenerate histogram lost samples: %d", h.Total())
+	}
+	empty := NewHistogram(nil, 3)
+	if empty.Total() != 0 {
+		t.Fatal("empty histogram should have no samples")
+	}
+}
+
+func TestHistogramPanicsOnBadBins(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram(xs, 0) did not panic")
+		}
+	}()
+	NewHistogram([]float64{1}, 0)
+}
+
+func TestPropertyMeanWithinMinMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return m >= sorted[0]-1e-6 && m <= sorted[len(sorted)-1]+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pa := float64(a) / 255 * 100
+		pb := float64(b) / 255 * 100
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyHistogramTotal(t *testing.T) {
+	f := func(raw []float64, bins uint8) bool {
+		nb := int(bins%16) + 1
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		return NewHistogram(xs, nb).Total() == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

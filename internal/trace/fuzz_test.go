@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON hardens the trace deserializer against malformed input
+// (statsprof reads user-provided trace files).
+func FuzzReadJSON(f *testing.F) {
+	tr := New()
+	tr.Record(0, CatChunkWork, 0, 100, "c0")
+	tr.Record(1, CatSyncWait, 0, 50, "")
+	tr.AddEdge(EdgeWake, 0, 40, 1, 50)
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sb.String())
+	f.Add(`{}`)
+	f.Add(`{"intervals": null, "edges": [], "threads": -1, "span": -5}`)
+	f.Add(`{"intervals": [{"thread": 1e9}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decodes must survive validation or be rejected by it —
+		// never panic.
+		_ = got.Validate()
+		_ = got.CyclesByCategory()
+		_ = got.BusyCycles()
+	})
+}
+
+// FuzzRecordTimeline hardens the timeline renderer against arbitrary
+// interval patterns.
+func FuzzRecordTimeline(f *testing.F) {
+	f.Add(uint8(3), uint16(100), uint16(50), uint8(2))
+	f.Fuzz(func(t *testing.T, nIv uint8, start, length uint16, catRaw uint8) {
+		tr := New()
+		cursor := int64(start)
+		for i := 0; i < int(nIv%12); i++ {
+			cat := Category(int(catRaw) % NumCategories)
+			end := cursor + int64(length%500)
+			tr.Record(i%3, cat, cursor, end, "f")
+			cursor = end + 1
+		}
+		_ = tr.TimelineString(int(length%120) + 1)
+	})
+}

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderTimelineBasic(t *testing.T) {
+	tr := New()
+	tr.Record(0, CatSetup, 0, 100, "")
+	tr.Record(0, CatChunkWork, 100, 1000, "")
+	tr.Record(1, CatSyncWait, 0, 200, "")
+	tr.Record(1, CatAltProducer, 200, 400, "")
+	tr.Record(1, CatChunkWork, 400, 900, "")
+	out := tr.TimelineString(50)
+	if !strings.Contains(out, "t0") || !strings.Contains(out, "t1") {
+		t.Fatalf("missing thread rows:\n%s", out)
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Fatal("missing legend")
+	}
+	if !strings.Contains(out, "W") {
+		t.Fatal("chunk work glyph absent")
+	}
+	if !strings.Contains(out, "A") {
+		t.Fatal("alt-producer glyph absent")
+	}
+	// Thread 0 starts first: its row must come before thread 1's.
+	if strings.Index(out, "t0") > strings.Index(out, "t1") {
+		t.Fatal("rows not ordered by first activity")
+	}
+}
+
+func TestRenderTimelineEmpty(t *testing.T) {
+	out := New().TimelineString(40)
+	if !strings.Contains(out, "empty trace") {
+		t.Fatalf("empty trace rendering: %q", out)
+	}
+}
+
+func TestRenderTimelineDominantCategory(t *testing.T) {
+	tr := New()
+	// One bucket: 10 cycles of setup vs 90 of work -> the bucket shows W.
+	tr.Record(0, CatSetup, 0, 10, "")
+	tr.Record(0, CatChunkWork, 10, 100, "")
+	out := tr.TimelineString(1)
+	if !strings.Contains(out, "|W|") {
+		t.Fatalf("dominant category not chosen:\n%s", out)
+	}
+}
+
+func TestTimelineGlyphsDistinct(t *testing.T) {
+	seen := map[byte]Category{}
+	for c := Category(0); int(c) < NumCategories; c++ {
+		g := timelineGlyphs[c]
+		if g == 0 {
+			t.Fatalf("category %v has no glyph", c)
+		}
+		if prev, dup := seen[g]; dup {
+			t.Fatalf("glyph %c shared by %v and %v", g, prev, c)
+		}
+		seen[g] = c
+	}
+}
