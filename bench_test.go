@@ -9,7 +9,10 @@ package gostats
 // `go run ./cmd/statsbench` (see EXPERIMENTS.md for recorded results).
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	_ "gostats/internal/bench/all"
@@ -21,6 +24,7 @@ import (
 	"gostats/internal/machine"
 	"gostats/internal/memsim"
 	"gostats/internal/rng"
+	"gostats/internal/stream"
 	"gostats/internal/trace"
 )
 
@@ -211,6 +215,51 @@ func BenchmarkCritpathWhatIf(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		an.Makespan(critpath.WhatIf{Removed: critpath.ExtraComputationSet, RemoveWakeLatency: true})
+	}
+}
+
+// BenchmarkStreamPipeline measures the streaming STATS pipeline
+// (internal/stream, the engine behind statsserved) end to end on
+// facetrack at several worker-pool widths, reporting committed inputs
+// per second alongside ns/op.
+func BenchmarkStreamPipeline(b *testing.B) {
+	p := facetrack.Default()
+	p.Frames = 400
+	ft := facetrack.NewWithParams(p)
+	ins := ft.Inputs(rng.New(1))
+
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				pl, err := stream.New(ctx, ft, stream.Config{
+					ChunkSize: 16, Lookback: 4, ExtraStates: 1,
+					Workers: workers, Seed: 3,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				go func() {
+					defer pl.Close()
+					for _, in := range ins {
+						if pl.Push(ctx, in) != nil {
+							return
+						}
+					}
+				}()
+				n := 0
+				for range pl.Outputs() {
+					n++
+				}
+				if _, err := pl.Wait(); err != nil {
+					b.Fatal(err)
+				}
+				if n != len(ins) {
+					b.Fatalf("committed %d of %d inputs", n, len(ins))
+				}
+			}
+			b.ReportMetric(float64(len(ins)*b.N)/b.Elapsed().Seconds(), "inputs/sec")
+		})
 	}
 }
 

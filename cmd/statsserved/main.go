@@ -1,0 +1,125 @@
+// Command statsserved serves streaming STATS sessions over HTTP.
+//
+// Usage:
+//
+//	statsserved [-addr :8417] [-chunk 16] [-lookback 4] [-extra 1]
+//	            [-workers 4] [-adapt] [-seed 3] [-grace 15s]
+//	statsserved -gen facetrack [-n 64] [-input-seed 1]
+//
+// In serving mode it accepts NDJSON sessions at
+// POST /v1/stream/{benchmark}: each request-body line is one benchmark
+// input, each response line one committed output (in input order), and
+// the final line a JSON trailer with the session's statistics. Concurrent
+// sessions run on independent pipelines; /metrics aggregates binned stage
+// latencies and counters across all of them; /healthz reports liveness;
+// GET /v1/benchmarks lists the streamable workloads. On SIGTERM or
+// SIGINT the server stops accepting connections and drains in-flight
+// sessions for -grace before force-closing.
+//
+// With -gen it instead prints a benchmark's native input stream as NDJSON
+// to stdout — a ready-made session body for curl.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gostats/internal/bench"
+	_ "gostats/internal/bench/all"
+	"gostats/internal/rng"
+	"gostats/internal/stream"
+)
+
+func main() {
+	addr := flag.String("addr", ":8417", "listen address")
+	chunk := flag.Int("chunk", 16, "inputs per chunk (initial size with -adapt)")
+	lookback := flag.Int("lookback", 4, "alternative-producer replay length k")
+	extra := flag.Int("extra", 1, "extra original states per chunk boundary")
+	workers := flag.Int("workers", 4, "per-session worker pool / speculation window")
+	adapt := flag.Bool("adapt", false, "retune chunk size online from commit/abort feedback")
+	seed := flag.Uint64("seed", 3, "default nondeterminism seed (override per session with ?seed=)")
+	grace := flag.Duration("grace", 15*time.Second, "drain period for in-flight sessions on SIGTERM")
+	gen := flag.String("gen", "", "print this benchmark's inputs as NDJSON to stdout and exit")
+	n := flag.Int("n", 0, "with -gen, cap the number of input lines (0: native length)")
+	inputSeed := flag.Uint64("input-seed", 1, "with -gen, input-generation seed")
+	flag.Parse()
+
+	if *gen != "" {
+		if err := generate(*gen, *n, *inputSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "statsserved:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	base := stream.Config{
+		ChunkSize:   *chunk,
+		Lookback:    *lookback,
+		ExtraStates: *extra,
+		Workers:     *workers,
+		Adapt:       *adapt,
+		Seed:        *seed,
+	}
+	if err := base.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "statsserved:", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(base).handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("statsserved listening on %s (benchmarks: %v)", *addr, bench.CodecNames())
+
+	select {
+	case err := <-errc:
+		log.Fatalf("statsserved: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("statsserved: signal received, draining sessions (grace %s)", *grace)
+		sctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("statsserved: drain incomplete (%v), force closing", err)
+			srv.Close()
+		}
+	}
+}
+
+// generate prints a benchmark's native input stream as NDJSON — the body
+// of a streaming session.
+func generate(name string, n int, seed uint64) error {
+	codec, err := bench.CodecFor(name)
+	if err != nil {
+		return err
+	}
+	b, err := bench.New(name)
+	if err != nil {
+		return err
+	}
+	inputs := b.Inputs(rng.New(seed))
+	if n > 0 && n < len(inputs) {
+		inputs = inputs[:n]
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, in := range inputs {
+		line, err := codec.EncodeInput(in)
+		if err != nil {
+			return err
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	return nil
+}

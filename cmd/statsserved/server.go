@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"gostats/internal/bench"
+	"gostats/internal/stream"
+)
+
+// server multiplexes NDJSON streaming sessions onto per-session STATS
+// pipelines. Every session clones the base pipeline config (optionally
+// overridden per request by query parameters) but shares one Metrics
+// collector, so /metrics aggregates across all sessions served.
+type server struct {
+	base stream.Config
+	met  *stream.Metrics
+}
+
+func newServer(base stream.Config) *server {
+	if base.Metrics == nil {
+		base.Metrics = stream.NewMetrics()
+	}
+	return &server{base: base, met: base.Metrics}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("POST /v1/stream/{benchmark}", s.handleStream)
+	return mux
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.met.WriteText(w)
+}
+
+func (s *server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string][]string{
+		"streamable": bench.CodecNames(),
+		"all":        bench.Names(),
+	})
+}
+
+// sessionTrailer is the final NDJSON line of every session: it tells the
+// client the stream drained (or why it didn't) and summarizes the run.
+type sessionTrailer struct {
+	Done      bool         `json:"done"`
+	Benchmark string       `json:"benchmark"`
+	Stats     stream.Stats `json:"stats"`
+	Error     string       `json:"error,omitempty"`
+}
+
+// handleStream runs one streaming session: NDJSON inputs in the request
+// body, committed NDJSON outputs in the response, a trailer line last.
+// Outputs stream back while inputs are still arriving; the pipeline's
+// backpressure propagates to the client through unread request bytes.
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("benchmark")
+	codec, err := bench.CodecFor(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	prog, err := bench.New(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	cfg := s.base
+	if err := applyQuery(&cfg, r); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// The session lives inside the request context: a client disconnect or
+	// a forced server close tears the pipeline down.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	p, err := stream.New(ctx, prog, cfg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Whatever path exits this handler, fully unwind the session: cancel,
+	// drain the output channel, and wait for every pipeline goroutine.
+	defer func() {
+		cancel()
+		for range p.Outputs() {
+		}
+		p.Wait()
+	}()
+
+	// Sessions are full duplex: outputs stream back while the client is
+	// still sending inputs. Without this, the first response write would
+	// try to drain the request body and deadlock against backpressure.
+	// (Errors mean the transport is full duplex already, e.g. HTTP/2.)
+	_ = http.NewResponseController(w).EnableFullDuplex()
+
+	// Pusher: the single producer. It owns Push and Close, decoding body
+	// lines until EOF or error.
+	pushDone := make(chan error, 1)
+	go func() {
+		defer p.Close()
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+		line := 0
+		for sc.Scan() {
+			b := sc.Bytes()
+			if len(bytes.TrimSpace(b)) == 0 {
+				continue
+			}
+			line++
+			in, err := codec.DecodeInput(b)
+			if err != nil {
+				pushDone <- fmt.Errorf("input line %d: %w", line, err)
+				return
+			}
+			if err := p.Push(ctx, in); err != nil {
+				pushDone <- fmt.Errorf("input line %d: %w", line, err)
+				return
+			}
+		}
+		pushDone <- sc.Err()
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	out := bufio.NewWriter(w)
+	var encErr error
+	for o := range p.Outputs() {
+		b, err := codec.EncodeOutput(o)
+		if err != nil {
+			encErr = err
+			cancel() // abandon the session; drain happens in the defer
+			break
+		}
+		out.Write(b)
+		out.WriteByte('\n')
+		out.Flush()
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	pushErr := <-pushDone
+	stats, runErr := p.Wait()
+	tr := sessionTrailer{Done: true, Benchmark: name, Stats: stats}
+	for _, err := range []error{encErr, pushErr, runErr} {
+		if err != nil {
+			tr.Done, tr.Error = false, err.Error()
+			break
+		}
+	}
+	if b, err := json.Marshal(tr); err == nil {
+		out.Write(b)
+		out.WriteByte('\n')
+	}
+	out.Flush()
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// applyQuery overrides the session's pipeline config from request query
+// parameters: seed, chunk, lookback, extra, workers, adapt.
+func applyQuery(cfg *stream.Config, r *http.Request) error {
+	q := r.URL.Query()
+	setInt := func(key string, dst *int) error {
+		if v := q.Get(key); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("query %s=%q: %w", key, v, err)
+			}
+			*dst = n
+		}
+		return nil
+	}
+	for key, dst := range map[string]*int{
+		"chunk": &cfg.ChunkSize, "lookback": &cfg.Lookback,
+		"extra": &cfg.ExtraStates, "workers": &cfg.Workers,
+	} {
+		if err := setInt(key, dst); err != nil {
+			return err
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("query seed=%q: %w", v, err)
+		}
+		cfg.Seed = n
+	}
+	if v := q.Get("adapt"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return fmt.Errorf("query adapt=%q: %w", v, err)
+		}
+		cfg.Adapt = b
+	}
+	return cfg.Validate()
+}

@@ -1,0 +1,134 @@
+package autotune
+
+import "fmt"
+
+// The offline tuner (Tune) reproduces OpenTuner's role in the paper: a
+// search over the STATS design space against a profiled objective. A
+// long-running streaming deployment (internal/stream) cannot afford that
+// loop per session, but it observes the one signal the offline objective
+// only estimates — the actual commit/abort outcome of every chunk. Online
+// is the feedback half of the tuner: a deterministic controller that
+// retunes the chunk size from those outcomes while the pipeline runs.
+//
+// The policy follows the paper's speculation economics (§II-B, §III-E):
+// aborts waste a whole chunk of re-execution, so a mispeculation spike is
+// answered by growing chunks (fewer, cheaper-to-validate boundaries, more
+// lookback amortization), while a clean commit streak shrinks chunks back
+// toward the configured target to expose more parallelism. Decisions are
+// a pure function of the outcome sequence — no clocks, no sampling — so a
+// pipeline that feeds outcomes in commit order stays bit-reproducible.
+
+// OnlineConfig parameterizes the online chunk-size controller.
+type OnlineConfig struct {
+	// Initial is the starting chunk size (inputs per chunk).
+	Initial int
+	// Min and Max bound the chunk size the controller may choose.
+	Min, Max int
+	// Window is the number of consecutive chunk outcomes per decision
+	// epoch (tumbling, not sliding). Default 8.
+	Window int
+	// AbortHigh is the per-epoch abort rate at or above which the chunk
+	// size grows. Default 0.25.
+	AbortHigh float64
+	// AbortLow is the abort rate at or below which the chunk size shrinks
+	// back toward Min. Default 0.05 (an epoch of clean commits).
+	AbortLow float64
+	// Step is the multiplicative resize factor. Default 1.5.
+	Step float64
+}
+
+func (c OnlineConfig) withDefaults() OnlineConfig {
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	if c.AbortHigh == 0 {
+		c.AbortHigh = 0.25
+	}
+	if c.AbortLow == 0 {
+		c.AbortLow = 0.05
+	}
+	if c.Step <= 1 {
+		c.Step = 1.5
+	}
+	if c.Min < 1 {
+		c.Min = 1
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c OnlineConfig) Validate() error {
+	if c.Initial < 1 {
+		return fmt.Errorf("autotune: online Initial must be >= 1, got %d", c.Initial)
+	}
+	if c.Min > 0 && c.Max > 0 && c.Min > c.Max {
+		return fmt.Errorf("autotune: online Min %d > Max %d", c.Min, c.Max)
+	}
+	return nil
+}
+
+// Online retunes the streaming chunk size from commit/abort outcomes. It
+// is NOT goroutine-safe by design: determinism requires a single owner
+// (the pipeline's chunk assembler) that records outcomes in commit order
+// and reads ChunkSize at deterministic points between records.
+type Online struct {
+	cfg     OnlineConfig
+	size    int
+	epochN  int // outcomes in the current epoch
+	aborts  int // aborts in the current epoch
+	resizes int
+	grows   int
+	shrinks int
+}
+
+// NewOnline builds a controller. Initial is clamped into [Min, Max].
+func NewOnline(cfg OnlineConfig) (*Online, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	size := clampInt(cfg.Initial, cfg.Min, cfg.Max)
+	return &Online{cfg: cfg, size: size}, nil
+}
+
+// Record feeds one chunk outcome (in commit order). Every Window outcomes
+// the controller closes the epoch and may resize.
+func (o *Online) Record(committed bool) {
+	o.epochN++
+	if !committed {
+		o.aborts++
+	}
+	if o.epochN < o.cfg.Window {
+		return
+	}
+	rate := float64(o.aborts) / float64(o.epochN)
+	o.epochN, o.aborts = 0, 0
+	switch {
+	case rate >= o.cfg.AbortHigh:
+		next := clampInt(int(float64(o.size)*o.cfg.Step+0.5), o.cfg.Min, o.cfg.Max)
+		if next != o.size {
+			o.size = next
+			o.resizes++
+			o.grows++
+		}
+	case rate <= o.cfg.AbortLow:
+		next := clampInt(int(float64(o.size)/o.cfg.Step), o.cfg.Min, o.cfg.Max)
+		if next != o.size {
+			o.size = next
+			o.resizes++
+			o.shrinks++
+		}
+	}
+}
+
+// ChunkSize returns the size the next chunk should use.
+func (o *Online) ChunkSize() int { return o.size }
+
+// Resizes returns how many times the controller changed the chunk size
+// (and the grow/shrink split), for metrics and tests.
+func (o *Online) Resizes() (total, grows, shrinks int) {
+	return o.resizes, o.grows, o.shrinks
+}

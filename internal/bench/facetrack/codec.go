@@ -1,0 +1,40 @@
+package facetrack
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"gostats/internal/bench"
+	"gostats/internal/bench/trackutil"
+	"gostats/internal/core"
+)
+
+func init() { bench.RegisterCodec("facetrack", func() bench.StreamCodec { return codec{} }) }
+
+// codec streams facetrack over NDJSON: one trackutil.Frame per request
+// line, one Result per committed output line.
+type codec struct{}
+
+func (codec) DecodeInput(data []byte) (core.Input, error) {
+	var fr trackutil.Frame
+	if err := json.Unmarshal(data, &fr); err != nil {
+		return nil, fmt.Errorf("facetrack: bad frame: %w", err)
+	}
+	return fr, nil
+}
+
+func (codec) EncodeInput(in core.Input) ([]byte, error) {
+	fr, ok := in.(trackutil.Frame)
+	if !ok {
+		return nil, fmt.Errorf("facetrack: input is %T, want trackutil.Frame", in)
+	}
+	return json.Marshal(fr)
+}
+
+func (codec) EncodeOutput(out core.Output) ([]byte, error) {
+	res, ok := out.(Result)
+	if !ok {
+		return nil, fmt.Errorf("facetrack: output is %T, want Result", out)
+	}
+	return json.Marshal(res)
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"gostats/internal/core"
+)
+
+// StreamCodec translates one benchmark's inputs and outputs to and from a
+// wire form (one JSON object per line — NDJSON). It is what lets the
+// serving layer (cmd/statsserved) speak a benchmark's native types
+// without knowing them: sessions decode request lines into core.Input and
+// encode committed core.Output values back out.
+//
+// A codec must round-trip inputs exactly: DecodeInput(EncodeInput(in))
+// yields an input that drives the program identically to in. That is what
+// makes a served session reproducible from its request log.
+type StreamCodec interface {
+	// DecodeInput parses one request line into the benchmark's input type.
+	DecodeInput(data []byte) (core.Input, error)
+	// EncodeInput renders an input as one line (no trailing newline).
+	EncodeInput(in core.Input) ([]byte, error)
+	// EncodeOutput renders a committed output as one line.
+	EncodeOutput(out core.Output) ([]byte, error)
+}
+
+var codecs = map[string]func() StreamCodec{}
+
+// RegisterCodec adds a stream codec under the benchmark's registered
+// name. Like Register, it panics on duplicates.
+func RegisterCodec(name string, ctor func() StreamCodec) {
+	if _, dup := codecs[name]; dup {
+		panic(fmt.Sprintf("bench: duplicate codec %q", name))
+	}
+	codecs[name] = ctor
+}
+
+// CodecFor instantiates the stream codec registered for name. Not every
+// benchmark is streamable; the error lists those that are.
+func CodecFor(name string) (StreamCodec, error) {
+	ctor, ok := codecs[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: no stream codec for %q (have %v)", name, CodecNames())
+	}
+	return ctor(), nil
+}
+
+// CodecNames lists benchmarks with stream codecs in sorted order.
+func CodecNames() []string {
+	out := make([]string, 0, len(codecs))
+	for n := range codecs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,39 @@
+package streamclassifier
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"gostats/internal/bench"
+	"gostats/internal/core"
+)
+
+func init() { bench.RegisterCodec("streamclassifier", func() bench.StreamCodec { return codec{} }) }
+
+// codec streams streamclassifier over NDJSON: one labeled Block per
+// request line, one BlockAccuracy per committed output line.
+type codec struct{}
+
+func (codec) DecodeInput(data []byte) (core.Input, error) {
+	var blk Block
+	if err := json.Unmarshal(data, &blk); err != nil {
+		return nil, fmt.Errorf("streamclassifier: bad block: %w", err)
+	}
+	return blk, nil
+}
+
+func (codec) EncodeInput(in core.Input) ([]byte, error) {
+	blk, ok := in.(Block)
+	if !ok {
+		return nil, fmt.Errorf("streamclassifier: input is %T, want Block", in)
+	}
+	return json.Marshal(blk)
+}
+
+func (codec) EncodeOutput(out core.Output) ([]byte, error) {
+	ba, ok := out.(BlockAccuracy)
+	if !ok {
+		return nil, fmt.Errorf("streamclassifier: output is %T, want BlockAccuracy", out)
+	}
+	return json.Marshal(ba)
+}

@@ -1,0 +1,39 @@
+package streamcluster
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"gostats/internal/bench"
+	"gostats/internal/core"
+)
+
+func init() { bench.RegisterCodec("streamcluster", func() bench.StreamCodec { return codec{} }) }
+
+// codec streams streamcluster over NDJSON: one point Block per request
+// line, one BlockCost per committed output line.
+type codec struct{}
+
+func (codec) DecodeInput(data []byte) (core.Input, error) {
+	var blk Block
+	if err := json.Unmarshal(data, &blk); err != nil {
+		return nil, fmt.Errorf("streamcluster: bad block: %w", err)
+	}
+	return blk, nil
+}
+
+func (codec) EncodeInput(in core.Input) ([]byte, error) {
+	blk, ok := in.(Block)
+	if !ok {
+		return nil, fmt.Errorf("streamcluster: input is %T, want Block", in)
+	}
+	return json.Marshal(blk)
+}
+
+func (codec) EncodeOutput(out core.Output) ([]byte, error) {
+	bc, ok := out.(BlockCost)
+	if !ok {
+		return nil, fmt.Errorf("streamcluster: output is %T, want BlockCost", out)
+	}
+	return json.Marshal(bc)
+}

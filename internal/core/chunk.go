@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"gostats/internal/rng"
+	"gostats/internal/trace"
+)
+
+// This file exports the chunk-level primitives of the STATS protocol —
+// alternative production, chunk execution, original-state generation, and
+// speculation validation — so that runtimes other than the batch Run
+// (notably the streaming pipeline in internal/stream) can drive the same
+// protocol over their own scheduling structure. Run itself is implemented
+// on top of these primitives; their Exec call sequences and RNG
+// derivations are exactly those of the original batch runtime, which keeps
+// simulated executions bit-reproducible across the refactor.
+
+// SpeculativeState runs an alternative producer (§III-B "Generating
+// speculative states"): it builds the speculative start state for a chunk
+// whose predecessor ends with window, by replaying only those inputs from
+// a cold state. workerRng is the owning chunk's worker stream; the
+// producer derives its "fresh" and "altprod" substreams from it. onState
+// is invoked once per state materialized (may be nil).
+func SpeculativeState(ex Exec, p Program, window []Input, workerRng *rng.Stream, onState func()) State {
+	ex.SetCat(trace.CatAltProducer)
+	s := p.Fresh(workerRng.Derive("fresh"))
+	if onState != nil {
+		onState()
+	}
+	apRng := workerRng.Derive("altprod")
+	for _, in := range window {
+		uw := p.UpdateCost(in, s)
+		s, _ = p.Update(s, in, apRng)
+		ex.SetCat(trace.CatAltProducer)
+		ex.Compute(uw.Serial)
+		ex.Compute(uw.Parallel)
+	}
+	return s
+}
+
+// ProcessChunk executes one chunk's updates from state s, snapshotting the
+// state just before input index snapAt (the base the original-state
+// replicas replay from; snapAt < 0 disables the snapshot, as for the last
+// chunk of a bounded stream). g may be nil when the program's original TLP
+// is not used. It returns the outputs, the snapshot (nil if disabled) and
+// the final state.
+func ProcessChunk(ex Exec, p Program, g *Gang, chunk []Input, snapAt int, s State, rnd, jit *rng.Stream, cat trace.Category, onState func()) ([]Output, State, State) {
+	var snapshot State
+	outs := make([]Output, 0, len(chunk))
+	ex.SetCat(cat)
+	for i, in := range chunk {
+		if i == snapAt {
+			snapshot = p.Clone(s)
+			if onState != nil {
+				onState()
+			}
+			ex.Copy(p.StateBytes(), ex.Loc(), p.Name()+".snap")
+			ex.SetCat(cat)
+		}
+		uw := p.UpdateCost(in, s)
+		var out Output
+		s, out = p.Update(s, in, rnd)
+		g.Run(ex, uw, cat, jit, uw.ShareJitter)
+		outs = append(outs, out)
+	}
+	return outs, snapshot, s
+}
+
+// OriginalStates produces the set of original states for a chunk boundary:
+// the chunk's own final state plus extra replicas, each re-running the
+// last window inputs from the snapshot with fresh nondeterminism on its
+// own thread (Fig. 5, cores 0–2). tag names the replica threads (replica i
+// spawns as "tag.i"). onThread/onState count spawned threads and
+// materialized states (either may be nil).
+func OriginalStates(ex Exec, p Program, tag string, window []Input, snapshot, final State, extra int, rnd *rng.Stream, onThread, onState func()) []State {
+	origs := []State{final}
+	if extra == 0 || snapshot == nil {
+		return origs
+	}
+	results := make([]State, extra)
+	handles := make([]Handle, extra)
+	myLoc := ex.Loc()
+	for i := 0; i < extra; i++ {
+		i := i
+		rr := rnd.DeriveN("replica", i)
+		handles[i] = ex.Spawn(fmt.Sprintf("%s.%d", tag, i), func(re Exec) {
+			re.SetCat(trace.CatOrigStates)
+			sr := p.Clone(snapshot)
+			if onState != nil {
+				onState()
+			}
+			re.Copy(p.StateBytes(), myLoc, p.Name()+".orig")
+			re.SetCat(trace.CatOrigStates)
+			for _, in := range window {
+				uw := p.UpdateCost(in, sr)
+				sr, _ = p.Update(sr, in, rr)
+				re.Compute(uw.Serial)
+				re.Compute(uw.Parallel)
+			}
+			results[i] = sr
+		})
+		if onThread != nil {
+			onThread()
+		}
+	}
+	for _, h := range handles {
+		ex.Join(h)
+	}
+	return append(origs, results...)
+}
+
+// MatchAny is the runtime's state comparison (§II-B): it reports whether
+// spec matches at least one of the original states, charging one
+// comparison per state inspected and stopping at the first match.
+func MatchAny(ex Exec, p Program, origs []State, spec State) bool {
+	ex.SetCat(trace.CatCompare)
+	for _, o := range origs {
+		ex.Compute(p.CompareCost())
+		if p.Match(o, spec) {
+			return true
+		}
+	}
+	return false
+}

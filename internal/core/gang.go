@@ -8,13 +8,14 @@ import (
 	"gostats/internal/trace"
 )
 
-// gang is a persistent worker pool implementing the program's *original*
+// Gang is a persistent worker pool implementing the program's *original*
 // TLP inside one STATS chunk: each update's parallel part is split across
 // the gang with a condvar barrier per update, the way the PARSEC pthread
 // versions fork/join worker threads per frame. The per-update kernel
 // round-trips are what makes the original TLP's synchronization overhead
-// emerge in the simulation.
-type gang struct {
+// emerge in the simulation. A nil *Gang is valid and runs everything on
+// the calling context (width 1).
+type Gang struct {
 	width   int
 	mu      Mutex
 	start   Cond
@@ -28,13 +29,13 @@ type gang struct {
 	handles []Handle
 }
 
-// newGang spawns width-1 helper threads. A width of 1 returns nil (no
-// gang needed).
-func newGang(ex Exec, name string, width int, counter func()) *gang {
+// NewGang spawns width-1 helper threads, reporting each spawn through
+// counter (may be nil). A width of 1 returns nil (no gang needed).
+func NewGang(ex Exec, name string, width int, counter func()) *Gang {
 	if width <= 1 {
 		return nil
 	}
-	g := &gang{
+	g := &Gang{
 		width:  width,
 		mu:     ex.NewMutex(),
 		shares: make([]machine.Work, width-1),
@@ -53,7 +54,7 @@ func newGang(ex Exec, name string, width int, counter func()) *gang {
 	return g
 }
 
-func (g *gang) helper(he Exec, i int) {
+func (g *Gang) helper(he Exec, i int) {
 	var seen int64
 	g.mu.Lock(he)
 	for {
@@ -78,11 +79,11 @@ func (g *gang) helper(he Exec, i int) {
 	}
 }
 
-// run executes one update's cost through the gang: the serial part on the
+// Run executes one update's cost through the gang: the serial part on the
 // master, the parallel part split across min(width, Grain) contexts with
 // per-share jitter (input-dependent latency variation, a §III-A imbalance
 // source).
-func (g *gang) run(ex Exec, uw UpdateWork, cat trace.Category, jit *rng.Stream, jitterAmt float64) {
+func (g *Gang) Run(ex Exec, uw UpdateWork, cat trace.Category, jit *rng.Stream, jitterAmt float64) {
 	ex.SetCat(cat)
 	ex.Compute(uw.Serial)
 	w := uw.Grain
@@ -125,8 +126,8 @@ func (g *gang) run(ex Exec, uw UpdateWork, cat trace.Category, jit *rng.Stream, 
 	g.mu.Unlock(ex)
 }
 
-// close stops and joins the helpers.
-func (g *gang) close(ex Exec) {
+// Close stops and joins the helpers.
+func (g *Gang) Close(ex Exec) {
 	if g == nil {
 		return
 	}

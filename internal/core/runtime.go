@@ -149,11 +149,11 @@ func (rt *run) worker(ex Exec, j int, start State) {
 	p := rt.prog
 	myRng := rt.root.DeriveN("worker", j)
 	jit := myRng.Derive("jitter")
-	g := newGang(ex, fmt.Sprintf("%s-w%d", p.Name(), j), rt.cfg.InnerWidth,
+	g := NewGang(ex, fmt.Sprintf("%s-w%d", p.Name(), j), rt.cfg.InnerWidth,
 		func() { rt.threads.Add(1) })
 	defer func() {
 		if g != nil {
-			g.close(ex)
+			g.Close(ex)
 		}
 	}()
 
@@ -164,17 +164,7 @@ func (rt *run) worker(ex Exec, j int, start State) {
 		// Alternative producer: build the speculative start state by
 		// replaying only the last k inputs of the previous chunk from a
 		// cold state (§III-B "Generating speculative states").
-		ex.SetCat(trace.CatAltProducer)
-		s = p.Fresh(myRng.Derive("fresh"))
-		rt.states.Add(1)
-		apRng := myRng.Derive("altprod")
-		for _, in := range rt.window(j - 1) {
-			uw := p.UpdateCost(in, s)
-			s, _ = p.Update(s, in, apRng)
-			ex.SetCat(trace.CatAltProducer)
-			ex.Compute(uw.Serial)
-			ex.Compute(uw.Parallel)
-		}
+		s = SpeculativeState(ex, p, rt.window(j-1), myRng, rt.countState)
 		// Publish a copy of the speculative state so the predecessor can
 		// check it while this worker speculatively computes the chunk.
 		spec := p.Clone(s)
@@ -235,15 +225,7 @@ func (rt *run) worker(ex Exec, j int, start State) {
 		spec := nxt.spec
 		nxt.mu.Unlock(ex)
 
-		ex.SetCat(trace.CatCompare)
-		matched := false
-		for _, o := range origs {
-			ex.Compute(rt.prog.CompareCost())
-			if p.Match(o, spec) {
-				matched = true
-				break
-			}
-		}
+		matched := MatchAny(ex, p, origs, spec)
 		nxt.mu.Lock(ex)
 		nxt.trueFinal = final
 		nxt.srcLoc = ex.Loc()
@@ -257,75 +239,34 @@ func (rt *run) worker(ex Exec, j int, start State) {
 	}
 }
 
-// processChunk runs chunk j's updates from state s, snapshotting the
-// state window-length inputs before the end (the base the original-state
-// replicas replay from). It returns the outputs, the snapshot (nil for
-// the last chunk) and the final state.
-func (rt *run) processChunk(ex Exec, g *gang, j int, s State, rnd, jit *rng.Stream, cat trace.Category) ([]Output, State, State) {
-	p := rt.prog
+// countState and countThread are the accounting hooks the chunk
+// primitives report through.
+func (rt *run) countState()  { rt.states.Add(1) }
+func (rt *run) countThread() { rt.threads.Add(1) }
+
+// processChunk runs chunk j's updates from state s via the exported
+// ProcessChunk primitive, snapshotting the state window-length inputs
+// before the end (the base the original-state replicas replay from). It
+// returns the outputs, the snapshot (nil for the last chunk) and the
+// final state.
+func (rt *run) processChunk(ex Exec, g *Gang, j int, s State, rnd, jit *rng.Stream, cat trace.Category) ([]Output, State, State) {
 	chunk := rt.chunkInputs(j)
-	last := j == len(rt.bounds)-1
 	snapAt := -1
-	if !last {
+	if j != len(rt.bounds)-1 {
 		snapAt = len(chunk) - len(rt.window(j))
 	}
-	var snapshot State
-	outs := make([]Output, 0, len(chunk))
-	ex.SetCat(cat)
-	for i, in := range chunk {
-		if i == snapAt {
-			snapshot = p.Clone(s)
-			rt.states.Add(1)
-			ex.Copy(p.StateBytes(), ex.Loc(), p.Name()+".snap")
-			ex.SetCat(cat)
-		}
-		uw := p.UpdateCost(in, s)
-		var out Output
-		s, out = p.Update(s, in, rnd)
-		g.run(ex, uw, cat, jit, uw.ShareJitter)
-		outs = append(outs, out)
-	}
-	return outs, snapshot, s
+	return ProcessChunk(ex, rt.prog, g, chunk, snapAt, s, rnd, jit, cat, rt.countState)
 }
 
 // genOrigStates produces the set of original states for chunk j's
-// boundary: the worker's own final state plus ExtraStates replicas, each
-// re-running the last window inputs from the snapshot with fresh
-// nondeterminism on its own thread (Fig. 5, cores 0–2).
+// boundary via the exported OriginalStates primitive: the worker's own
+// final state plus ExtraStates replicas, each re-running the last window
+// inputs from the snapshot with fresh nondeterminism on its own thread
+// (Fig. 5, cores 0–2).
 func (rt *run) genOrigStates(ex Exec, j int, snapshot, final State, rnd *rng.Stream) []State {
-	p := rt.prog
-	origs := []State{final}
-	extra := rt.cfg.ExtraStates
-	if extra == 0 || snapshot == nil {
-		return origs
-	}
-	win := rt.window(j)
-	results := make([]State, extra)
-	handles := make([]Handle, extra)
-	myLoc := ex.Loc()
-	for i := 0; i < extra; i++ {
-		i := i
-		rr := rnd.DeriveN("replica", i)
-		handles[i] = ex.Spawn(fmt.Sprintf("%s-r%d.%d", p.Name(), j, i), func(re Exec) {
-			re.SetCat(trace.CatOrigStates)
-			sr := p.Clone(snapshot)
-			rt.states.Add(1)
-			re.Copy(p.StateBytes(), myLoc, p.Name()+".orig")
-			re.SetCat(trace.CatOrigStates)
-			for _, in := range win {
-				uw := p.UpdateCost(in, sr)
-				sr, _ = p.Update(sr, in, rr)
-				re.Compute(uw.Serial)
-				re.Compute(uw.Parallel)
-			}
-			results[i] = sr
-		})
-		rt.threads.Add(1)
-	}
-	for _, h := range handles {
-		ex.Join(h)
-	}
-	return append(origs, results...)
+	tag := fmt.Sprintf("%s-r%d", rt.prog.Name(), j)
+	return OriginalStates(ex, rt.prog, tag, rt.window(j), snapshot, final,
+		rt.cfg.ExtraStates, rnd, rt.countThread, rt.countState)
 }
 
 // RunSequential executes the original sequential program (the Fig. 9
@@ -348,7 +289,7 @@ func runPlain(ex Exec, p Program, inputs []Input, width int, seed uint64) *Repor
 
 	ex.SetCat(trace.CatChunkWork)
 	threads := 0
-	g := newGang(ex, p.Name()+"-orig", width, func() { threads++ })
+	g := NewGang(ex, p.Name()+"-orig", width, func() { threads++ })
 	s := p.Initial(root.Derive("init"))
 	jit := root.Derive("jitter")
 	upd := root.Derive("updates")
@@ -357,10 +298,10 @@ func runPlain(ex Exec, p Program, inputs []Input, width int, seed uint64) *Repor
 		uw := p.UpdateCost(in, s)
 		var out Output
 		s, out = p.Update(s, in, upd)
-		g.run(ex, uw, trace.CatChunkWork, jit, uw.ShareJitter)
+		g.Run(ex, uw, trace.CatChunkWork, jit, uw.ShareJitter)
 		outs = append(outs, out)
 	}
-	g.close(ex)
+	g.Close(ex)
 
 	ex.SetCat(trace.CatSeqCode)
 	ex.Compute(p.PostRegionWork())

@@ -1,0 +1,106 @@
+package stream
+
+import "gostats/internal/core"
+
+// assemble is the chunk-assembly stage: it groups ingested inputs into
+// chunks, attaches the previous chunk's lookback window (what the next
+// chunk's alternative producer will replay), and dispatches jobs to the
+// worker pool. It is the single owner of the online chunk-size controller
+// and of the outcome window that implements backpressure.
+func (p *Pipeline) assemble() {
+	defer p.stages.Done()
+	defer close(p.jobs)
+
+	j := 0        // next chunk index
+	consumed := 0 // commit outcomes consumed so far
+	var prevWindow []core.Input
+	var buf []core.Input
+
+	size, ok := p.sizeFor(j, &consumed)
+	if !ok {
+		return
+	}
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case in, open := <-p.in:
+			if !open {
+				// End of stream: flush the final partial chunk. No sizing
+				// decision is needed for it, so no outcome wait either.
+				if len(buf) > 0 {
+					p.dispatch(j, buf, prevWindow)
+				}
+				return
+			}
+			buf = append(buf, in)
+			if len(buf) < size {
+				continue
+			}
+			if !p.dispatch(j, buf, prevWindow) {
+				return
+			}
+			prevWindow = p.window(buf)
+			buf = nil
+			j++
+			if size, ok = p.sizeFor(j, &consumed); !ok {
+				return
+			}
+		}
+	}
+}
+
+// sizeFor decides chunk j's size. Before deciding it consumes commit
+// outcomes until exactly max(0, j-Workers) have been seen. That wait is
+// the speculation window — at most Workers chunks run past the commit
+// frontier — and it is also what makes adaptive sizing deterministic:
+// the decision for chunk j reads a fixed, scheduling-independent prefix
+// of the outcome sequence, never "whatever has committed by now".
+func (p *Pipeline) sizeFor(j int, consumed *int) (int, bool) {
+	need := j - p.cfg.Workers
+	for *consumed < need {
+		select {
+		case <-p.ctx.Done():
+			return 0, false
+		case committed := <-p.outcomes:
+			*consumed++
+			if p.ctl == nil {
+				continue
+			}
+			p.ctl.Record(committed)
+			n, _, _ := p.ctl.Resizes()
+			if delta := int64(n) - p.resizes.Load(); delta > 0 {
+				p.resizes.Store(int64(n))
+				p.met.Resizes.Add(delta)
+				p.met.ChunkSize.Store(int64(p.ctl.ChunkSize()))
+			}
+		}
+	}
+	if p.ctl != nil {
+		return p.ctl.ChunkSize(), true
+	}
+	return p.cfg.ChunkSize, true
+}
+
+// dispatch hands one assembled chunk to the worker pool. Chunk 0 carries
+// the program's initial state (the state the original sequential code
+// starts from); every later chunk starts from an alternative-produced
+// speculative state instead.
+func (p *Pipeline) dispatch(j int, inputs, prevWindow []core.Input) bool {
+	jb := &job{index: j, inputs: inputs}
+	if j == 0 {
+		jb.initial = p.prog.Initial(p.root.Derive("init"))
+		p.countState()
+	} else {
+		jb.prevWindow = prevWindow
+	}
+	select {
+	case <-p.ctx.Done():
+		return false
+	case p.jobs <- jb:
+		p.chunks.Add(1)
+		p.met.Chunks.Add(1)
+		p.met.InFlight.Add(1)
+		return true
+	}
+}

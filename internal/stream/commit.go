@@ -1,0 +1,127 @@
+package stream
+
+import (
+	"fmt"
+	"time"
+
+	"gostats/internal/core"
+	"gostats/internal/trace"
+)
+
+// committed is the commit frontier's view of the last committed chunk:
+// the lineage state the next chunk is validated against and, on
+// mispeculation, recovered from.
+type committed struct {
+	final core.State
+	origs []core.State
+}
+
+// commit is the ordered commit stage: it reorders worker results into
+// input order and applies the §II-B commit protocol chunk by chunk. It is
+// the only stage that touches the true (committed) lineage, so it needs
+// no locks — order is enforced structurally.
+func (p *Pipeline) commit() {
+	defer p.stages.Done()
+	defer p.met.Active.Add(-1)
+	defer close(p.out)
+
+	pending := map[int]*result{}
+	next := 0
+	var prev committed
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case res, open := <-p.results:
+			if !open {
+				// Workers are done and the channel is drained; everything
+				// dispatched has been committed in order.
+				return
+			}
+			pending[res.job.index] = res
+			for {
+				r, ready := pending[next]
+				if !ready {
+					break
+				}
+				delete(pending, next)
+				if !p.commitOne(r, &prev) {
+					return
+				}
+				next++
+			}
+		}
+	}
+}
+
+// commitOne validates, commits or recovers one chunk at the frontier and
+// emits its outputs. It returns false if the context was canceled.
+func (p *Pipeline) commitOne(r *result, prev *committed) bool {
+	j := r.job.index
+	ok := true
+	if j > 0 {
+		t0 := time.Now()
+		ok = core.MatchAny(p.ex, p.prog, prev.origs, r.spec)
+		p.met.Observe(StageValidate, time.Since(t0))
+	}
+	outs, final, origs := r.outs, r.final, r.origs
+	if !ok {
+		p.aborts.Add(1)
+		p.met.Aborts.Add(1)
+		outs, final, origs = p.reexec(r, prev.final)
+	} else {
+		p.commits.Add(1)
+		p.met.Commits.Add(1)
+	}
+	prev.final, prev.origs = final, origs
+
+	t1 := time.Now()
+	for _, out := range outs {
+		select {
+		case <-p.ctx.Done():
+			return false
+		case p.out <- out:
+			p.outputs.Add(1)
+			p.met.Outputs.Add(1)
+		}
+	}
+	p.met.Observe(StageCommit, time.Since(t1))
+	p.met.InFlight.Add(-1)
+
+	// Feed the outcome window: this both opens one speculation slot for
+	// the assembler and, in commit order, drives adaptive chunk sizing.
+	select {
+	case <-p.ctx.Done():
+		return false
+	case p.outcomes <- ok:
+	}
+	return true
+}
+
+// reexec recovers a mispeculated chunk (§III-E): it re-runs the chunk in
+// place from the true state the committed predecessor produced, then
+// regenerates the original states the successor will be validated
+// against. Recovery runs at the commit frontier, serializing the pipeline
+// for the chunk's length — that serialization is exactly the
+// mispeculation cost the paper's loss decomposition charges.
+func (p *Pipeline) reexec(r *result, trueFinal core.State) ([]core.Output, core.State, []core.State) {
+	t0 := time.Now()
+	prog := p.prog
+	j := r.job.index
+	myRng := p.workerRng(j)
+	jit := myRng.Derive("jitter")
+	g := core.NewGang(p.ex, fmt.Sprintf("%s-x%d", prog.Name(), j), p.cfg.InnerWidth, p.countThread)
+	defer g.Close(p.ex)
+
+	s2 := prog.Clone(trueFinal)
+	p.countState()
+	win := p.window(r.job.inputs)
+	snapAt := len(r.job.inputs) - len(win)
+	outs, snapshot, final := core.ProcessChunk(p.ex, prog, g, r.job.inputs,
+		snapAt, s2, myRng.Derive("reexec"), jit, trace.CatReexec, p.countState)
+	origs := core.OriginalStates(p.ex, prog, fmt.Sprintf("%s-r%d", prog.Name(), j),
+		win, snapshot, final, p.cfg.ExtraStates, myRng.Derive("reorig"), p.countThread, p.countState)
+
+	p.met.Observe(StageReexec, time.Since(t0))
+	return outs, final, origs
+}

@@ -1,0 +1,166 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Binned wall-clock metrics in the style of flow-go's binstat: a fixed,
+// small number of power-of-two latency bins per pipeline stage, updated
+// with two atomic adds per observation. That keeps the hot path free of
+// locks, allocation, and formatting regardless of how many inputs flow
+// through, while still exposing the latency *shape* of every stage (a
+// mean hides exactly the bimodality that distinguishes a healthy
+// speculative pipeline from one stalling on aborts).
+//
+// A Metrics value may be shared by any number of pipelines (statsserved
+// aggregates all sessions into one); all methods are goroutine-safe.
+
+// Stage identifies an instrumented pipeline stage.
+type Stage int
+
+const (
+	// StageIngestWait is time Push spent blocked on backpressure (the
+	// speculation window or ingest queue was full).
+	StageIngestWait Stage = iota
+	// StageSpeculate is per-chunk speculative work on a pipeline worker:
+	// alternative production, chunk body, original-state generation.
+	StageSpeculate
+	// StageValidate is per-chunk commit validation (state comparisons).
+	StageValidate
+	// StageCommit is per-chunk ordered output emission.
+	StageCommit
+	// StageReexec is per-aborted-chunk recovery re-execution.
+	StageReexec
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	StageIngestWait: "ingest-wait",
+	StageSpeculate:  "speculate",
+	StageValidate:   "validate",
+	StageCommit:     "commit",
+	StageReexec:     "abort-reexec",
+}
+
+// String returns the stage's metrics name.
+func (s Stage) String() string {
+	if s < 0 || s >= numStages {
+		return fmt.Sprintf("stage-%d", int(s))
+	}
+	return stageNames[s]
+}
+
+// numBins covers sub-microsecond through >17-minute observations in
+// power-of-two microsecond steps.
+const numBins = 31
+
+// binFor maps a duration to its bin: bin 0 is <1µs, bin i covers
+// [2^(i-1), 2^i) µs, the last bin is open-ended.
+func binFor(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	b := bits.Len64(us)
+	if b >= numBins {
+		b = numBins - 1
+	}
+	return b
+}
+
+// binLabel renders a bin's half-open range.
+func binLabel(b int) string {
+	if b == 0 {
+		return "[0,1us)"
+	}
+	lo := time.Duration(1<<(b-1)) * time.Microsecond
+	if b == numBins-1 {
+		return fmt.Sprintf("[%s,inf)", lo)
+	}
+	return fmt.Sprintf("[%s,%s)", lo, time.Duration(1<<b)*time.Microsecond)
+}
+
+// stageBins is one stage's histogram.
+type stageBins struct {
+	count   [numBins]atomic.Int64
+	totalNs [numBins]atomic.Int64
+}
+
+// Metrics collects binned stage latencies and pipeline counters. The zero
+// value is NOT usable; call NewMetrics.
+type Metrics struct {
+	stages [numStages]stageBins
+
+	// Counters, aggregated across every pipeline sharing this Metrics.
+	Inputs    atomic.Int64 // inputs ingested
+	Outputs   atomic.Int64 // outputs committed and emitted
+	Chunks    atomic.Int64 // chunks dispatched to workers
+	Commits   atomic.Int64 // chunks whose speculation committed
+	Aborts    atomic.Int64 // chunks that mispeculated and re-executed
+	Resizes   atomic.Int64 // online chunk-size changes
+	Sessions  atomic.Int64 // pipelines ever attached
+	Active    atomic.Int64 // pipelines currently running
+	InFlight  atomic.Int64 // chunks currently speculating
+	ChunkSize atomic.Int64 // most recent chunk size chosen
+}
+
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Observe records one duration for a stage.
+func (m *Metrics) Observe(s Stage, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	b := binFor(d)
+	m.stages[s].count[b].Add(1)
+	m.stages[s].totalNs[b].Add(int64(d))
+}
+
+// StageCount returns the total observations recorded for a stage.
+func (m *Metrics) StageCount(s Stage) int64 {
+	var n int64
+	for b := 0; b < numBins; b++ {
+		n += m.stages[s].count[b].Load()
+	}
+	return n
+}
+
+// WriteText renders the collector in a stable, grep-friendly text format
+// (one line per non-empty bin plus one line per counter), the format
+// statsserved serves at /metrics.
+func (m *Metrics) WriteText(w io.Writer) error {
+	counters := []struct {
+		name string
+		v    *atomic.Int64
+	}{
+		{"inputs", &m.Inputs}, {"outputs", &m.Outputs},
+		{"chunks", &m.Chunks}, {"commits", &m.Commits},
+		{"aborts", &m.Aborts}, {"resizes", &m.Resizes},
+		{"sessions", &m.Sessions}, {"active_sessions", &m.Active},
+		{"inflight_chunks", &m.InFlight}, {"chunk_size", &m.ChunkSize},
+	}
+	sort.SliceStable(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "stream/counter[%s]=%d\n", c.name, c.v.Load()); err != nil {
+			return err
+		}
+	}
+	for s := Stage(0); s < numStages; s++ {
+		for b := 0; b < numBins; b++ {
+			n := m.stages[s].count[b].Load()
+			if n == 0 {
+				continue
+			}
+			tot := time.Duration(m.stages[s].totalNs[b].Load())
+			if _, err := fmt.Fprintf(w, "stream/stage[%s]/time%s=%d %.6f\n",
+				stageNames[s], binLabel(b), n, tot.Seconds()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

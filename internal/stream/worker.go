@@ -1,0 +1,76 @@
+package stream
+
+import (
+	"fmt"
+	"time"
+
+	"gostats/internal/core"
+	"gostats/internal/trace"
+)
+
+// worker is one member of the speculative worker pool: it pulls assembled
+// chunks and executes them on core.NativeExec, out of commit order.
+func (p *Pipeline) worker() {
+	defer p.stages.Done()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case jb, open := <-p.jobs:
+			if !open {
+				return
+			}
+			res := p.speculate(jb)
+			select {
+			case <-p.ctx.Done():
+				return
+			case p.results <- res:
+			}
+		}
+	}
+}
+
+// speculate runs the worker-side protocol for one chunk, mirroring the
+// batch worker (core.Run) exactly — same primitives, same RNG derivations
+// keyed by the chunk index — so the committed output sequence depends
+// only on (seed, inputs, chunk boundaries), not on which pool worker ran
+// it or when:
+//
+//  1. the alternative producer replays the predecessor's lookback window
+//     from a cold state (chunk 0 instead starts from the initial state),
+//  2. the chunk body runs speculatively from that state, snapshotting
+//     window-length inputs before the end, and
+//  3. original states for the successor's validation are generated from
+//     the snapshot.
+//
+// Unlike the batch worker, a streaming chunk never knows it is last, so
+// original states are always generated; for a session's final chunk they
+// go unused.
+func (p *Pipeline) speculate(jb *job) *result {
+	t0 := time.Now()
+	prog := p.prog
+	myRng := p.workerRng(jb.index)
+	jit := myRng.Derive("jitter")
+	g := core.NewGang(p.ex, fmt.Sprintf("%s-w%d", prog.Name(), jb.index), p.cfg.InnerWidth, p.countThread)
+	defer g.Close(p.ex)
+
+	res := &result{job: jb}
+	var s core.State
+	if jb.index == 0 {
+		s = jb.initial
+	} else {
+		s = core.SpeculativeState(p.ex, prog, jb.prevWindow, myRng, p.countState)
+		res.spec = prog.Clone(s)
+		p.countState()
+	}
+
+	win := p.window(jb.inputs)
+	snapAt := len(jb.inputs) - len(win)
+	res.outs, res.snapshot, res.final = core.ProcessChunk(p.ex, prog, g, jb.inputs,
+		snapAt, s, myRng.Derive("body"), jit, trace.CatChunkWork, p.countState)
+	res.origs = core.OriginalStates(p.ex, prog, fmt.Sprintf("%s-r%d", prog.Name(), jb.index),
+		win, res.snapshot, res.final, p.cfg.ExtraStates, myRng, p.countThread, p.countState)
+
+	p.met.Observe(StageSpeculate, time.Since(t0))
+	return res
+}
