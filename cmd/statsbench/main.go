@@ -4,10 +4,18 @@
 //
 //	statsbench [-only fig9,table1] [-benchmarks a,b] [-cores 14,28]
 //	           [-quality-runs N] [-tune N] [-out dir] [-v]
+//	statsbench -perf [-perf-out BENCH_streaming.json] [-perf-n 400]
 //
 // With no flags it reproduces every artifact (Table I, Figs. 9–16,
 // Table II) for all six benchmarks at 14 and 28 simulated cores, printing
 // to stdout and, with -out, also writing one text file per artifact.
+//
+// With -perf it instead benchmarks the repo's own native hot path: batch
+// and streaming protocol executions at 1/4/GOMAXPROCS workers, reporting
+// ns/op, B/op, allocs/op and commit/abort rates into BENCH_streaming.json
+// (see the README's Performance section).
+//
+// All modes accept -cpuprofile/-memprofile/-pprof for diagnosis.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 
 	_ "gostats/internal/bench/all"
 	"gostats/internal/experiments"
+	"gostats/internal/profiling"
 )
 
 func main() {
@@ -36,7 +45,26 @@ func main() {
 	list := flag.Bool("list", false, "list the available artifacts and exit")
 	seed := flag.Uint64("seed", 3, "nondeterminism seed")
 	inputSeed := flag.Uint64("input-seed", 1, "input-generation seed")
+	perf := flag.Bool("perf", false, "benchmark the native hot path instead of regenerating paper artifacts")
+	perfOut := flag.String("perf-out", "BENCH_streaming.json", "with -perf, write the JSON report here")
+	perfN := flag.Int("perf-n", 400, "with -perf, cap the inputs per benchmark (0: native length)")
+	perfBench := flag.String("perf-benchmarks", "facetrack,streamcluster,streamclassifier", "with -perf, comma-separated benchmarks to measure")
+	prof := profiling.Register()
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer stopProf()
+
+	if *perf {
+		if err := runPerf(strings.Split(*perfBench, ","), *perfN, *seed, *inputSeed, *perfOut); err != nil {
+			fatalf("perf: %v", err)
+		}
+		fmt.Printf("perf report written to %s\n", *perfOut)
+		return
+	}
 
 	if *list {
 		for _, a := range experiments.Artifacts() {

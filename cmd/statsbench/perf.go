@@ -1,0 +1,203 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"gostats/internal/bench"
+	"gostats/internal/core"
+	"gostats/internal/rng"
+	"gostats/internal/stream"
+)
+
+// The -perf mode benchmarks the repo's own hot path — not the simulated
+// machine, the real one: batch (core.Run) and streaming (stream.Pipeline)
+// executions on core.NativeExec, measured in wall time and allocator
+// traffic per input. Results land in BENCH_streaming.json so the perf
+// trajectory is tracked in-repo and regressions show up in review.
+
+// prePRBaseline records BenchmarkStreamPipeline (facetrack, 400 inputs,
+// chunk 16, lookback 4, extra 1, seed 3) measured at commit c68759b,
+// before the zero-copy state lifecycle landed — the comparison point the
+// perf harness carries forward.
+var prePRBaseline = map[string]perfRow{
+	"stream/facetrack/workers=1": {Mode: "stream", Benchmark: "facetrack", Workers: 1, Inputs: 400,
+		NsPerOp: 27728, BytesPerOp: 23925, AllocsPerOp: 17.6},
+	"stream/facetrack/workers=4": {Mode: "stream", Benchmark: "facetrack", Workers: 4, Inputs: 400,
+		NsPerOp: 28898, BytesPerOp: 23925, AllocsPerOp: 17.6},
+}
+
+// perfRow is one measured configuration. Per-op quantities are per input
+// processed, matching the convention of the root BenchmarkStreamPipeline.
+type perfRow struct {
+	Mode        string  `json:"mode"` // "batch" or "stream"
+	Benchmark   string  `json:"benchmark"`
+	Workers     int     `json:"workers"` // stream: pool size; batch: chunk count
+	Inputs      int     `json:"inputs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Commits     int64   `json:"commits"`
+	Aborts      int64   `json:"aborts"`
+	CommitRate  float64 `json:"commit_rate"`
+	StatesReuse int64   `json:"states_reused,omitempty"`
+}
+
+// perfReport is the BENCH_streaming.json schema.
+type perfReport struct {
+	Note     string             `json:"note"`
+	Go       string             `json:"go"`
+	MaxProcs int                `json:"gomaxprocs"`
+	Baseline map[string]perfRow `json:"pre_pr_baseline"`
+	Rows     map[string]perfRow `json:"rows"`
+}
+
+// runPerf measures every requested benchmark in batch mode and in
+// streaming mode at 1, 4, and GOMAXPROCS workers, and writes the report.
+func runPerf(names []string, nInputs int, seed, inputSeed uint64, outPath string) error {
+	report := perfReport{
+		Note:     "per-op figures are per input processed on core.NativeExec; regenerate with: go run ./cmd/statsbench -perf",
+		Go:       runtime.Version(),
+		MaxProcs: runtime.GOMAXPROCS(0),
+		Baseline: prePRBaseline,
+		Rows:     map[string]perfRow{},
+	}
+	workerCounts := dedupInts([]int{1, 4, runtime.GOMAXPROCS(0)})
+	for _, name := range names {
+		b, err := bench.New(name)
+		if err != nil {
+			return err
+		}
+		inputs := b.Inputs(rng.New(inputSeed))
+		if nInputs > 0 && nInputs < len(inputs) {
+			inputs = inputs[:nInputs]
+		}
+
+		row, err := perfBatch(b, inputs, seed)
+		if err != nil {
+			return err
+		}
+		report.Rows[fmt.Sprintf("batch/%s", name)] = row
+		fmt.Printf("batch  %-18s            %10.0f ns/op %10.0f B/op %8.1f allocs/op\n",
+			name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+
+		for _, w := range workerCounts {
+			row, err := perfStream(b, inputs, w, seed)
+			if err != nil {
+				return err
+			}
+			report.Rows[fmt.Sprintf("stream/%s/workers=%d", name, w)] = row
+			fmt.Printf("stream %-18s workers=%-2d %10.0f ns/op %10.0f B/op %8.1f allocs/op  commit %.2f\n",
+				name, w, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.CommitRate)
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(outPath, data, 0o644)
+}
+
+// measure runs fn, returning wall time and allocator deltas. A GC fence
+// on both sides keeps previously retired garbage out of the delta.
+func measure(fn func() error) (time.Duration, uint64, uint64, error) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	err := fn()
+	el := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	return el, m1.Mallocs - m0.Mallocs, m1.TotalAlloc - m0.TotalAlloc, err
+}
+
+func perfBatch(b bench.Benchmark, inputs []core.Input, seed uint64) (perfRow, error) {
+	// Match the streaming shape: one chunk per 16 inputs.
+	chunks := max(1, len(inputs)/16)
+	cfg := core.Config{Chunks: chunks, Lookback: 4, ExtraStates: 1, InnerWidth: 1, Seed: seed}
+	var rep *core.Report
+	el, mallocs, bytes, err := measure(func() error {
+		var err error
+		rep, err = core.Run(core.NewNativeExec(), b, inputs, cfg)
+		return err
+	})
+	if err != nil {
+		return perfRow{}, err
+	}
+	n := float64(len(inputs))
+	commits, aborts := int64(rep.Commits), int64(rep.Aborts)
+	return perfRow{
+		Mode: "batch", Benchmark: b.Name(), Workers: chunks, Inputs: len(inputs),
+		NsPerOp: float64(el.Nanoseconds()) / n, BytesPerOp: float64(bytes) / n,
+		AllocsPerOp: float64(mallocs) / n,
+		Commits:     commits, Aborts: aborts,
+		CommitRate: float64(commits) / float64(max(1, int(commits+aborts))),
+	}, nil
+}
+
+func perfStream(b bench.Benchmark, inputs []core.Input, workers int, seed uint64) (perfRow, error) {
+	var stats stream.Stats
+	el, mallocs, bytes, err := measure(func() error {
+		p, err := stream.New(context.Background(), b, stream.Config{
+			ChunkSize:   16,
+			Lookback:    4,
+			ExtraStates: 1,
+			Workers:     workers,
+			Seed:        seed,
+		})
+		if err != nil {
+			return err
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for range p.Outputs() {
+			}
+		}()
+		for _, in := range inputs {
+			if err := p.Push(context.Background(), in); err != nil {
+				return err
+			}
+		}
+		p.Close()
+		<-done
+		stats, err = p.Wait()
+		return err
+	})
+	if err != nil {
+		return perfRow{}, err
+	}
+	n := float64(len(inputs))
+	return perfRow{
+		Mode: "stream", Benchmark: b.Name(), Workers: workers, Inputs: len(inputs),
+		NsPerOp: float64(el.Nanoseconds()) / n, BytesPerOp: float64(bytes) / n,
+		AllocsPerOp: float64(mallocs) / n,
+		Commits:     stats.Commits, Aborts: stats.Aborts,
+		CommitRate:  float64(stats.Commits) / float64(max(1, int(stats.Commits+stats.Aborts))),
+		StatesReuse: stats.Reused,
+	}, nil
+}
+
+func dedupInts(xs []int) []int {
+	seen := map[int]bool{}
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -34,6 +34,7 @@ import (
 
 	"gostats/internal/bench"
 	_ "gostats/internal/bench/all"
+	"gostats/internal/profiling"
 	"gostats/internal/rng"
 	"gostats/internal/stream"
 )
@@ -50,7 +51,15 @@ func main() {
 	gen := flag.String("gen", "", "print this benchmark's inputs as NDJSON to stdout and exit")
 	n := flag.Int("n", 0, "with -gen, cap the number of input lines (0: native length)")
 	inputSeed := flag.Uint64("input-seed", 1, "with -gen, input-generation seed")
+	prof := profiling.Register()
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statsserved:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *gen != "" {
 		if err := generate(*gen, *n, *inputSeed); err != nil {

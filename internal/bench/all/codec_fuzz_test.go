@@ -1,0 +1,72 @@
+package all
+
+import (
+	"bytes"
+	"testing"
+
+	"gostats/internal/bench"
+	"gostats/internal/rng"
+)
+
+// FuzzStreamCodecs drives every registered NDJSON stream codec with
+// arbitrary request lines. The contract under fuzz: DecodeInput may
+// reject a line (that is its job), but it must never panic, and any line
+// it accepts must re-encode and re-decode to a stable fixed point —
+// encode(decode(line)) == encode(decode(encode(decode(line)))). That
+// stability is what makes a served session reproducible from its request
+// log even when clients send semantically odd but syntactically valid
+// lines.
+func FuzzStreamCodecs(f *testing.F) {
+	names := bench.CodecNames()
+	// Seed with genuine encoded inputs from each streamable benchmark,
+	// plus structural edge cases.
+	for idx, name := range names {
+		b := bench.MustNew(name)
+		c, err := bench.CodecFor(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		ins := b.Inputs(rng.New(7))
+		for k := 0; k < 3 && k < len(ins); k++ {
+			line, err := c.EncodeInput(ins[k*len(ins)/3])
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(uint8(idx), line)
+		}
+	}
+	for idx := range names {
+		f.Add(uint8(idx), []byte(`{}`))
+		f.Add(uint8(idx), []byte(`null`))
+		f.Add(uint8(idx), []byte(`{"Points":null,"Obs":[],"X":[[]],"Y":null}`))
+		f.Add(uint8(idx), []byte(`{"Quality":1e308,"Index":-1}`))
+		f.Add(uint8(idx), []byte(``))
+	}
+
+	f.Fuzz(func(t *testing.T, which uint8, line []byte) {
+		name := names[int(which)%len(names)]
+		codec, err := bench.CodecFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := codec.DecodeInput(line)
+		if err != nil {
+			return // rejecting malformed input is fine
+		}
+		enc1, err := codec.EncodeInput(in)
+		if err != nil {
+			t.Fatalf("%s: EncodeInput failed on decoded input: %v", name, err)
+		}
+		in2, err := codec.DecodeInput(enc1)
+		if err != nil {
+			t.Fatalf("%s: codec rejected its own encoding %q: %v", name, enc1, err)
+		}
+		enc2, err := codec.EncodeInput(in2)
+		if err != nil {
+			t.Fatalf("%s: re-encode failed: %v", name, err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("%s: unstable round-trip:\n first: %s\nsecond: %s", name, enc1, enc2)
+		}
+	})
+}

@@ -122,6 +122,22 @@ type Result struct {
 // Clone deep-copies the 500 KB particle set.
 func (b *BodyTrack) Clone(stv core.State) core.State { return stv.(*trackutil.Cloud).Clone() }
 
+// CloneInto implements core.StateRecycler: the clone lands in a retired
+// cloud's buffers instead of allocating 500 KB.
+func (b *BodyTrack) CloneInto(dst, src core.State) core.State {
+	d, _ := dst.(*trackutil.Cloud)
+	return trackutil.CloneCloudInto(d, src.(*trackutil.Cloud))
+}
+
+// Fingerprint implements core.Fingerprinter: the leading pose-estimate
+// coordinates quantized at MatchTol. Match bounds the estimates'
+// Euclidean distance by MatchTol, which bounds every coordinate
+// difference by MatchTol, so matching clouds are always
+// digest-compatible.
+func (b *BodyTrack) Fingerprint(stv core.State) uint64 {
+	return stv.(*trackutil.Cloud).Digest(b.p.MatchTol)
+}
+
 // Match accepts speculative clouds whose pose estimate is within
 // MatchTol of an original state's estimate.
 func (b *BodyTrack) Match(av, bv core.State) bool {
@@ -154,7 +170,7 @@ func (b *BodyTrack) UpdateCost(in core.Input, stv core.State) core.UpdateWork {
 	serial := int64(float64(instr) * 0.12) // resampling + image pyramid setup
 	var access *memsim.AccessProfile
 	if c, ok := stv.(*trackutil.Cloud); ok {
-		access = trackutil.StateProfile(bodyProfile, "bodytrack.state.", c.ID, b.StateBytes())
+		access = c.Profile(&bodyProfile, "bodytrack.state.", b.StateBytes())
 	}
 	return core.UpdateWork{
 		Serial:      machine.Work{Instr: serial, Access: access},

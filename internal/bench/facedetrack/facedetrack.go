@@ -131,6 +131,18 @@ type Result struct {
 // Clone deep-copies the particle set.
 func (f *FaceDetTrack) Clone(stv core.State) core.State { return stv.(*trackutil.Cloud).Clone() }
 
+// CloneInto implements core.StateRecycler.
+func (f *FaceDetTrack) CloneInto(dst, src core.State) core.State {
+	d, _ := dst.(*trackutil.Cloud)
+	return trackutil.CloneCloudInto(d, src.(*trackutil.Cloud))
+}
+
+// Fingerprint implements core.Fingerprinter: box-estimate coordinates
+// quantized at MatchTol, as for facetrack.
+func (f *FaceDetTrack) Fingerprint(stv core.State) uint64 {
+	return stv.(*trackutil.Cloud).Digest(f.p.MatchTol)
+}
+
 // Match compares box estimates, as for facetrack.
 func (f *FaceDetTrack) Match(av, bv core.State) bool {
 	ca, cb := av.(*trackutil.Cloud), bv.(*trackutil.Cloud)
@@ -173,19 +185,19 @@ var filterProfile = memsim.AccessProfile{
 func (f *FaceDetTrack) UpdateCost(in core.Input, stv core.State) core.UpdateWork {
 	fr := in.(trackutil.Frame)
 	var instr int64
-	base := detProfile
+	base := &detProfile
 	if fr.Occluded {
 		instr = f.p.NativeFilterInstr
-		base = filterProfile
+		base = &filterProfile
 	} else {
 		instr = f.p.NativeDetectInstr
 	}
 	serial := int64(float64(instr) * 0.25)
 	var access *memsim.AccessProfile
 	if c, ok := stv.(*trackutil.Cloud); ok {
-		access = trackutil.StateProfile(base, "facedet.state.", c.ID, f.StateBytes())
+		access = c.Profile(base, "facedet.state.", f.StateBytes())
 	} else {
-		access = &base
+		access = base
 	}
 	return core.UpdateWork{
 		Serial:      machine.Work{Instr: serial, Access: access},

@@ -111,6 +111,19 @@ type Result struct {
 // Clone deep-copies the 8 KB particle set.
 func (f *FaceTrack) Clone(stv core.State) core.State { return stv.(*trackutil.Cloud).Clone() }
 
+// CloneInto implements core.StateRecycler.
+func (f *FaceTrack) CloneInto(dst, src core.State) core.State {
+	d, _ := dst.(*trackutil.Cloud)
+	return trackutil.CloneCloudInto(d, src.(*trackutil.Cloud))
+}
+
+// Fingerprint implements core.Fingerprinter: face-box estimate
+// coordinates quantized at MatchTol (a bound on each coordinate's
+// difference under Match's Euclidean-distance test).
+func (f *FaceTrack) Fingerprint(stv core.State) uint64 {
+	return stv.(*trackutil.Cloud).Digest(f.p.MatchTol)
+}
+
 // Match compares face-box estimates: the paper's "average Euclidean
 // distance between the boxes containing the detected faces".
 func (f *FaceTrack) Match(av, bv core.State) bool {
@@ -144,7 +157,7 @@ func (f *FaceTrack) UpdateCost(in core.Input, stv core.State) core.UpdateWork {
 	serial := int64(float64(instr) * 0.30) // color conversion, resampling
 	var access *memsim.AccessProfile
 	if c, ok := stv.(*trackutil.Cloud); ok {
-		access = trackutil.StateProfile(faceProfile, "facetrack.state.", c.ID, f.StateBytes())
+		access = c.Profile(&faceProfile, "facetrack.state.", f.StateBytes())
 	}
 	return core.UpdateWork{
 		Serial:      machine.Work{Instr: serial, Access: access},

@@ -161,6 +161,34 @@ func (f *FluidAnimate) Clone(stv core.State) core.State {
 	return &c
 }
 
+// CloneInto implements core.StateRecycler: the 64 KB field lands in a
+// retired field instead of allocating.
+func (f *FluidAnimate) CloneInto(dst, src core.State) core.State {
+	d, ok := dst.(*field)
+	if !ok {
+		return f.Clone(src)
+	}
+	*d = *src.(*field)
+	return d
+}
+
+// Fingerprint implements core.Fingerprinter: the field's mean x and y
+// velocities quantized at MatchTol. The mean absolute per-cell
+// difference is bounded by the RMS distance Match tests, so matching
+// fields are always digest-compatible.
+func (f *FluidAnimate) Fingerprint(stv core.State) uint64 {
+	st := stv.(*field)
+	var mx, my float64
+	for i := 0; i < cells; i++ {
+		mx += st.vx[i]
+		my += st.vy[i]
+	}
+	return core.PackLanes(
+		core.QuantizeLane(mx/cells, f.p.MatchTol),
+		core.QuantizeLane(my/cells, f.p.MatchTol),
+	)
+}
+
 // Match compares fields by RMS distance. Because the field integrates
 // the whole force history, a fresh-start lineage essentially never
 // matches — mispeculation by construction.

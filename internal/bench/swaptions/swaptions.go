@@ -212,6 +212,31 @@ func (s *Swaptions) Clone(st core.State) core.State {
 	return &c
 }
 
+// CloneInto implements core.StateRecycler.
+func (s *Swaptions) CloneInto(dst, src core.State) core.State {
+	d, ok := dst.(*estState)
+	if !ok {
+		return s.Clone(src)
+	}
+	*d = *src.(*estState)
+	return d
+}
+
+// Fingerprint implements core.Fingerprinter. Match's mean tolerance is
+// relative to the original estimate's magnitude, so the mean itself has
+// no state-independent quantization cell; the digest instead encodes the
+// discrete preconditions — the swaption index and estimator emptiness —
+// which Match requires to be equal, via ExactLane so any difference is
+// digest-incompatible.
+func (s *Swaptions) Fingerprint(st core.State) uint64 {
+	e := st.(*estState)
+	var empty int64
+	if e.n == 0 {
+		empty = 1
+	}
+	return core.PackLanes(core.ExactLane(int64(e.sw)), core.ExactLane(empty))
+}
+
 // Match accepts a speculative estimator whose mean is within MatchRelTol
 // (relative) of an original one. An absolute tolerance (rather than one
 // scaled by the speculative state's own standard error) forces

@@ -17,6 +17,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"gostats/internal/core"
 	"gostats/internal/memsim"
 	"gostats/internal/rng"
 )
@@ -120,6 +121,26 @@ type Cloud struct {
 	// frame. A cold cloud stays cold through occlusions — the mechanism
 	// behind mispeculation at occluded chunk boundaries.
 	Cold bool
+
+	// Per-cloud working storage. None of it is logical state: every
+	// buffer is fully overwritten before it is read, and the profile
+	// cache is keyed so a stale entry can never be served. Clone starts
+	// the copy with empty working storage; CloneCloudInto keeps the
+	// destination's — reusing these buffers is the point of recycling.
+	scratchP []float64       // resample's next-generation particle array
+	scratchW []float64       // StepT's log-weight array
+	profiles [2]cloudProfile // built access profiles, keyed by base
+}
+
+// cloudProfile is one cached StateProfile instantiation. Rebuilding the
+// profile on every UpdateCost call is pure waste — the result depends
+// only on (base, cloud ID), both fixed for a live cloud — and it
+// dominated the tracker hot path's allocation profile. The cache is
+// keyed by the base profile's pointer; two slots cover every tracker
+// (facedetrack alternates between a detection and a filter profile).
+type cloudProfile struct {
+	base *memsim.AccessProfile
+	prof *memsim.AccessProfile
 }
 
 // NewCloud creates a cloud of n particles spread around center with the
@@ -157,6 +178,76 @@ func (c *Cloud) Clone() *Cloud {
 		Age:  c.Age,
 		Cold: c.Cold,
 	}
+}
+
+// CloneCloudInto deep-copies src into dst's buffers, assigning a fresh
+// region ID exactly as Clone does (the clone is a new live state and
+// must occupy its own simulated cache region). dst may be nil or of a
+// smaller shape, in which case this degrades to src.Clone(). dst keeps
+// its scratch buffers and drops its profile cache — the cache is keyed
+// by ID, which just changed.
+func CloneCloudInto(dst, src *Cloud) *Cloud {
+	if dst == nil || cap(dst.P) < len(src.P) || cap(dst.W) < len(src.W) {
+		return src.Clone()
+	}
+	dst.P = dst.P[:len(src.P)]
+	copy(dst.P, src.P)
+	dst.W = dst.W[:len(src.W)]
+	copy(dst.W, src.W)
+	dst.N = src.N
+	dst.Dims = src.Dims
+	dst.ID = idCounter.Add(1)
+	dst.Age = src.Age
+	dst.Cold = src.Cold
+	dst.profiles = [2]cloudProfile{}
+	return dst
+}
+
+// Digest summarizes the cloud for digest-gated validation
+// (core.Fingerprinter): the leading coordinates of the posterior-mean
+// estimate, quantized at cell. Trackers match on the Euclidean distance
+// between estimates, and each coordinate of that distance is bounded by
+// it — so with cell set to the tracker's match tolerance, two clouds
+// that Match always land within one quantization step per lane, which is
+// exactly the conservativeness core.DigestsMayMatch requires.
+func (c *Cloud) Digest(cell float64) uint64 {
+	lanes := c.Dims
+	if lanes > 4 {
+		lanes = 4
+	}
+	var est [4]float64
+	for i := 0; i < c.N; i++ {
+		w := c.W[i]
+		base := i * c.Dims
+		for d := 0; d < lanes; d++ {
+			est[d] += w * c.P[base+d]
+		}
+	}
+	var packed [4]int64
+	for d := 0; d < lanes; d++ {
+		packed[d] = core.QuantizeLane(est[d], cell)
+	}
+	return core.PackLanes(packed[0], packed[1], packed[2], packed[3])
+}
+
+// Profile returns the cloud's memory-access profile for the given base,
+// built once per (base, cloud ID) pair and cached. The returned profile
+// is shared and must be treated as read-only, which every consumer
+// (memsim scales a copy) already does.
+func (c *Cloud) Profile(base *memsim.AccessProfile, stateName string, stateBytes int64) *memsim.AccessProfile {
+	for i := range c.profiles {
+		if c.profiles[i].base == base {
+			return c.profiles[i].prof
+		}
+	}
+	p := StateProfile(*base, stateName, c.ID, stateBytes)
+	for i := range c.profiles {
+		if c.profiles[i].base == nil {
+			c.profiles[i] = cloudProfile{base: base, prof: p}
+			break
+		}
+	}
+	return p
 }
 
 // Step runs one predict-weight-resample cycle against the frame and
@@ -208,7 +299,10 @@ func (c *Cloud) StepT(fr Frame, procNoise, obsNoise, temper float64, r *rng.Stre
 	sigmaE := obsNoise * temper
 	inv := fr.Quality / (2 * sigmaE * sigmaE)
 	var maxLogW float64 = math.Inf(-1)
-	logw := make([]float64, c.N)
+	if cap(c.scratchW) < c.N {
+		c.scratchW = make([]float64, c.N)
+	}
+	logw := c.scratchW[:c.N]
 	for i := 0; i < c.N; i++ {
 		var d2 float64
 		for d := 0; d < dims; d++ {
@@ -277,7 +371,10 @@ func (c *Cloud) Recenter(pose []float64, spread float64, r *rng.Stream) {
 
 func (c *Cloud) resample(r *rng.Stream) {
 	n := c.N
-	newP := make([]float64, len(c.P))
+	if cap(c.scratchP) < len(c.P) {
+		c.scratchP = make([]float64, len(c.P))
+	}
+	newP := c.scratchP[:len(c.P)]
 	step := 1.0 / float64(n)
 	u := r.Float64() * step
 	var cum float64
@@ -290,7 +387,9 @@ func (c *Cloud) resample(r *rng.Stream) {
 		}
 		copy(newP[i*c.Dims:(i+1)*c.Dims], c.P[j*c.Dims:(j+1)*c.Dims])
 	}
-	c.P = newP
+	// Swap generations: the outgoing particle array becomes next cycle's
+	// scratch.
+	c.P, c.scratchP = newP, c.P
 	for i := range c.W {
 		c.W[i] = step
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"gostats/internal/core"
 	"gostats/internal/memsim"
 	"gostats/internal/rng"
 )
@@ -278,5 +279,83 @@ func TestDeterministicSteps(t *testing.T) {
 		if a[d] != b[d] {
 			t.Fatal("identical seeds produced different estimates")
 		}
+	}
+}
+
+func TestDigestSeparatesDistantClouds(t *testing.T) {
+	r := rng.New(5)
+	near := NewCloud(64, 4, []float64{1, 1, 1, 1}, 0.01, r)
+	nearTwin := NewCloud(64, 4, []float64{1.05, 1, 1, 1}, 0.01, r)
+	far := NewCloud(64, 4, []float64{40, -7, 3, 0}, 0.01, r)
+	cell := 0.5
+	if !core.DigestsMayMatch(near.Digest(cell), nearTwin.Digest(cell)) {
+		t.Fatal("clouds 0.05 apart must be digest-compatible at cell 0.5")
+	}
+	if core.DigestsMayMatch(near.Digest(cell), far.Digest(cell)) {
+		t.Fatal("clouds tens of units apart must be digest-incompatible")
+	}
+}
+
+func TestCloneCloudIntoReusesBuffersAndIsolatesScratch(t *testing.T) {
+	r := rng.New(6)
+	src := NewCloud(50, 3, nil, 1.0, r)
+	retired := NewCloud(50, 3, []float64{9, 9, 9}, 1.0, r)
+	retiredP := &retired.P[0]
+	got := CloneCloudInto(retired, src)
+	if got != retired {
+		t.Fatal("CloneCloudInto must reuse the retired cloud")
+	}
+	if &got.P[0] != retiredP {
+		t.Fatal("CloneCloudInto must reuse the retired particle buffer")
+	}
+	if got.ID == src.ID {
+		t.Fatal("a recycled clone must get a fresh region ID, like Clone")
+	}
+	for i := range src.P {
+		if got.P[i] != src.P[i] {
+			t.Fatalf("particle %d not copied", i)
+		}
+	}
+	// The recycled clone and the source must evolve independently: their
+	// buffers (including resample scratch) must not alias.
+	fr := Frame{Obs: []float64{0, 0, 0}, True: []float64{0, 0, 0}, Quality: 1}
+	srcBefore := append([]float64(nil), src.P...)
+	got.Step(fr, 0.02, 0.05, rng.New(1))
+	for i := range src.P {
+		if src.P[i] != srcBefore[i] {
+			t.Fatal("stepping the recycled clone mutated the source cloud")
+		}
+	}
+	// A nil or too-small destination degrades to a fresh Clone.
+	if c := CloneCloudInto(nil, src); c == nil || c == src || len(c.P) != len(src.P) {
+		t.Fatal("CloneCloudInto(nil, src) must build a fresh clone")
+	}
+	small := NewCloud(10, 3, nil, 1.0, r)
+	if c := CloneCloudInto(small, src); c == small {
+		t.Fatal("CloneCloudInto must not squeeze into a smaller cloud")
+	}
+}
+
+func TestProfileCachedPerBaseAndInvalidatedOnRecycle(t *testing.T) {
+	base1 := memsim.AccessProfile{Name: "t.one", Regions: []memsim.RegionRef{{Name: "$state", Bytes: 1}}}
+	base2 := memsim.AccessProfile{Name: "t.two", Regions: []memsim.RegionRef{{Name: "$state", Bytes: 1}}}
+	c := NewCloud(10, 2, nil, 1.0, rng.New(8))
+	p1 := c.Profile(&base1, "t.state.", 160)
+	if c.Profile(&base1, "t.state.", 160) != p1 {
+		t.Fatal("same base must hit the cache")
+	}
+	p2 := c.Profile(&base2, "t.state.", 160)
+	if p2 == p1 {
+		t.Fatal("distinct bases must get distinct profiles")
+	}
+	if c.Profile(&base1, "t.state.", 160) != p1 || c.Profile(&base2, "t.state.", 160) != p2 {
+		t.Fatal("two-slot cache must hold both bases")
+	}
+	// Recycling assigns a new ID, so cached profiles (named by ID) must
+	// be rebuilt.
+	src := NewCloud(10, 2, nil, 1.0, rng.New(9))
+	CloneCloudInto(c, src)
+	if c.Profile(&base1, "t.state.", 160) == p1 {
+		t.Fatal("profile cache must be invalidated when the cloud is recycled")
 	}
 }

@@ -43,15 +43,21 @@ func SpeculativeState(ex Exec, p Program, window []Input, workerRng *rng.Stream,
 // state just before input index snapAt (the base the original-state
 // replicas replay from; snapAt < 0 disables the snapshot, as for the last
 // chunk of a bounded stream). g may be nil when the program's original TLP
-// is not used. It returns the outputs, the snapshot (nil if disabled) and
-// the final state.
-func ProcessChunk(ex Exec, p Program, g *Gang, chunk []Input, snapAt int, s State, rnd, jit *rng.Stream, cat trace.Category, onState func()) ([]Output, State, State) {
+// is not used. pool, when non-nil, serves the snapshot clone from retired
+// state buffers; outBuf, when non-nil, is a retired output slab the
+// returned outputs are accumulated into (the caller transfers ownership).
+// It returns the outputs, the snapshot (nil if disabled) and the final
+// state.
+func ProcessChunk(ex Exec, p Program, pool *StatePool, g *Gang, chunk []Input, snapAt int, s State, rnd, jit *rng.Stream, cat trace.Category, onState func(), outBuf []Output) ([]Output, State, State) {
 	var snapshot State
-	outs := make([]Output, 0, len(chunk))
+	outs := outBuf[:0]
+	if outBuf == nil {
+		outs = make([]Output, 0, len(chunk))
+	}
 	ex.SetCat(cat)
 	for i, in := range chunk {
 		if i == snapAt {
-			snapshot = p.Clone(s)
+			snapshot = cloneVia(pool, p, s)
 			if onState != nil {
 				onState()
 			}
@@ -71,9 +77,12 @@ func ProcessChunk(ex Exec, p Program, g *Gang, chunk []Input, snapAt int, s Stat
 // the chunk's own final state plus extra replicas, each re-running the
 // last window inputs from the snapshot with fresh nondeterminism on its
 // own thread (Fig. 5, cores 0–2). tag names the replica threads (replica i
-// spawns as "tag.i"). onThread/onState count spawned threads and
-// materialized states (either may be nil).
-func OriginalStates(ex Exec, p Program, tag string, window []Input, snapshot, final State, extra int, rnd *rng.Stream, onThread, onState func()) []State {
+// spawns as "tag.i"). pool, when non-nil, serves replica start clones from
+// retired state buffers; the runtime retires them back via
+// StatePool.ReleaseReplicas once the boundary has been validated.
+// onThread/onState count spawned threads and materialized states (either
+// may be nil).
+func OriginalStates(ex Exec, p Program, pool *StatePool, tag string, window []Input, snapshot, final State, extra int, rnd *rng.Stream, onThread, onState func()) []State {
 	origs := []State{final}
 	if extra == 0 || snapshot == nil {
 		return origs
@@ -86,7 +95,7 @@ func OriginalStates(ex Exec, p Program, tag string, window []Input, snapshot, fi
 		rr := rnd.DeriveN("replica", i)
 		handles[i] = ex.Spawn(fmt.Sprintf("%s.%d", tag, i), func(re Exec) {
 			re.SetCat(trace.CatOrigStates)
-			sr := p.Clone(snapshot)
+			sr := cloneVia(pool, p, snapshot)
 			if onState != nil {
 				onState()
 			}
@@ -113,10 +122,26 @@ func OriginalStates(ex Exec, p Program, tag string, window []Input, snapshot, fi
 // MatchAny is the runtime's state comparison (§II-B): it reports whether
 // spec matches at least one of the original states, charging one
 // comparison per state inspected and stopping at the first match.
+//
+// When the program implements Fingerprinter, MatchAny gates each deep
+// Match behind a digest comparison: incompatible digests prove the pair
+// cannot Match (the Fingerprinter contract), so the deep comparison is
+// skipped. The simulated CompareCost is still charged per state inspected
+// either way — on the simulated machine a comparison costs what the
+// model says it costs — so traces, critical-path attribution, and the
+// returned result are identical with and without the digest fast path.
 func MatchAny(ex Exec, p Program, origs []State, spec State) bool {
 	ex.SetCat(trace.CatCompare)
+	fp, gated := p.(Fingerprinter)
+	var specFP uint64
+	if gated {
+		specFP = fp.Fingerprint(spec)
+	}
 	for _, o := range origs {
 		ex.Compute(p.CompareCost())
+		if gated && !DigestsMayMatch(fp.Fingerprint(o), specFP) {
+			continue
+		}
 		if p.Match(o, spec) {
 			return true
 		}

@@ -41,6 +41,7 @@ type run struct {
 	slots  []*slot
 	outs   [][]Output
 	root   *rng.Stream
+	pool   *StatePool
 
 	threads atomic.Int64
 	states  atomic.Int64
@@ -65,6 +66,7 @@ func Run(ex Exec, p Program, inputs []Input, cfg Config) (*Report, error) {
 		inputs: inputs,
 		bounds: partition(len(inputs), cfg.Chunks),
 		root:   rng.New(cfg.Seed).Derive("stats:" + p.Name()),
+		pool:   NewStatePool(p),
 	}
 	chunks := len(rt.bounds)
 	rt.slots = make([]*slot, chunks)
@@ -167,7 +169,7 @@ func (rt *run) worker(ex Exec, j int, start State) {
 		s = SpeculativeState(ex, p, rt.window(j-1), myRng, rt.countState)
 		// Publish a copy of the speculative state so the predecessor can
 		// check it while this worker speculatively computes the chunk.
-		spec := p.Clone(s)
+		spec := rt.pool.Clone(s)
 		rt.states.Add(1)
 		ex.Copy(p.StateBytes(), ex.Loc(), p.Name()+".spec")
 		sl := rt.slots[j]
@@ -184,6 +186,8 @@ func (rt *run) worker(ex Exec, j int, start State) {
 	var origs []State
 	if !last {
 		origs = rt.genOrigStates(ex, j, snapshot, final, myRng)
+		// The snapshot has been replayed into the replicas; retire it.
+		rt.pool.Release(snapshot)
 	}
 
 	// Wait for this chunk's own commit decision (program order).
@@ -197,14 +201,24 @@ func (rt *run) worker(ex Exec, j int, start State) {
 		sl.mu.Unlock(ex)
 		if dec == decisionAbort {
 			// Mispeculation (§III-E): rerun the chunk from the true state
-			// produced by the predecessor.
+			// produced by the predecessor. The speculative run's states —
+			// including its final state, origs[0] — are dead; retire them
+			// before the recovery run re-materializes the set.
 			rt.aborts.Add(1)
-			s2 := p.Clone(tf)
+			if last {
+				rt.pool.Release(final)
+			}
+			for _, o := range origs {
+				rt.pool.Release(o)
+			}
+			origs = nil
+			s2 := rt.pool.Clone(tf)
 			rt.states.Add(1)
 			ex.Copy(p.StateBytes(), srcLoc, p.Name()+".recover")
 			outs, snapshot, final = rt.processChunk(ex, g, j, s2, myRng.Derive("reexec"), jit, trace.CatReexec)
 			if !last {
 				origs = rt.genOrigStates(ex, j, snapshot, final, myRng.Derive("reorig"))
+				rt.pool.Release(snapshot)
 			}
 		} else {
 			rt.commits.Add(1)
@@ -226,6 +240,12 @@ func (rt *run) worker(ex Exec, j int, start State) {
 		nxt.mu.Unlock(ex)
 
 		matched := MatchAny(ex, p, origs, spec)
+		// The boundary is validated: the replica originals and the
+		// successor's published speculative copy are both dead. origs[0]
+		// (this chunk's final state) lives on as the successor's recovery
+		// state.
+		rt.pool.ReleaseReplicas(origs)
+		rt.pool.Release(spec)
 		nxt.mu.Lock(ex)
 		nxt.trueFinal = final
 		nxt.srcLoc = ex.Loc()
@@ -255,7 +275,7 @@ func (rt *run) processChunk(ex Exec, g *Gang, j int, s State, rnd, jit *rng.Stre
 	if j != len(rt.bounds)-1 {
 		snapAt = len(chunk) - len(rt.window(j))
 	}
-	return ProcessChunk(ex, rt.prog, g, chunk, snapAt, s, rnd, jit, cat, rt.countState)
+	return ProcessChunk(ex, rt.prog, rt.pool, g, chunk, snapAt, s, rnd, jit, cat, rt.countState, nil)
 }
 
 // genOrigStates produces the set of original states for chunk j's
@@ -265,7 +285,7 @@ func (rt *run) processChunk(ex Exec, g *Gang, j int, s State, rnd, jit *rng.Stre
 // (Fig. 5, cores 0–2).
 func (rt *run) genOrigStates(ex Exec, j int, snapshot, final State, rnd *rng.Stream) []State {
 	tag := fmt.Sprintf("%s-r%d", rt.prog.Name(), j)
-	return OriginalStates(ex, rt.prog, tag, rt.window(j), snapshot, final,
+	return OriginalStates(ex, rt.prog, rt.pool, tag, rt.window(j), snapshot, final,
 		rt.cfg.ExtraStates, rnd, rt.countThread, rt.countState)
 }
 

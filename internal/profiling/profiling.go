@@ -1,0 +1,78 @@
+// Package profiling wires the standard Go diagnostics into the repo's
+// commands: file-based CPU/heap profiles for offline analysis and a
+// net/http/pprof listener for live inspection of a serving process. The
+// hot path this PR-series optimizes is only as good as its last profile,
+// so every long-running command exposes these uniformly.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the standard profiling flag values.
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+	PprofAddr  string
+}
+
+// Register adds -cpuprofile, -memprofile, and -pprof to the default flag
+// set. Call before flag.Parse.
+func Register() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	flag.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	return f
+}
+
+// Start begins CPU profiling and the pprof listener as requested. It
+// returns a stop function that must run at process exit (defer it from
+// main): it stops the CPU profile and writes the heap profile.
+func (f *Flags) Start() (func(), error) {
+	var cpuFile *os.File
+	if f.CPUProfile != "" {
+		var err error
+		cpuFile, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	if f.PprofAddr != "" {
+		go func() {
+			// The default mux carries the /debug/pprof handlers.
+			if err := http.ListenAndServe(f.PprofAddr, nil); err != nil {
+				log.Printf("profiling: pprof listener: %v", err)
+			}
+		}()
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if f.MemProfile != "" {
+			mf, err := os.Create(f.MemProfile)
+			if err != nil {
+				log.Printf("profiling: %v", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				log.Printf("profiling: %v", err)
+			}
+		}
+	}, nil
+}

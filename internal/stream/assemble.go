@@ -14,12 +14,12 @@ func (p *Pipeline) assemble() {
 	j := 0        // next chunk index
 	consumed := 0 // commit outcomes consumed so far
 	var prevWindow []core.Input
-	var buf []core.Input
 
 	size, ok := p.sizeFor(j, &consumed)
 	if !ok {
 		return
 	}
+	buf := p.slabs.takeIn(size)
 	for {
 		select {
 		case <-p.ctx.Done():
@@ -41,11 +41,13 @@ func (p *Pipeline) assemble() {
 				return
 			}
 			prevWindow = p.window(buf)
-			buf = nil
 			j++
 			if size, ok = p.sizeFor(j, &consumed); !ok {
 				return
 			}
+			// The dispatched job owns buf now (and prevWindow aliases its
+			// tail); start the next chunk on a recycled slab.
+			buf = p.slabs.takeIn(size)
 		}
 	}
 }

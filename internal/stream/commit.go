@@ -28,6 +28,7 @@ func (p *Pipeline) commit() {
 	pending := map[int]*result{}
 	next := 0
 	var prev committed
+	var prevInputs []core.Input // committed predecessor's chunk inputs
 	for {
 		select {
 		case <-p.ctx.Done():
@@ -48,6 +49,12 @@ func (p *Pipeline) commit() {
 				if !p.commitOne(r, &prev) {
 					return
 				}
+				// Chunk next-1's input slab is now dead: its last readers
+				// were chunk next's alternative producer (prevWindow
+				// aliases it) and chunk next's possible re-exec, both
+				// finished inside commitOne.
+				p.slabs.putIn(prevInputs)
+				prevInputs = r.job.inputs
 				next++
 			}
 		}
@@ -63,17 +70,32 @@ func (p *Pipeline) commitOne(r *result, prev *committed) bool {
 		t0 := time.Now()
 		ok = core.MatchAny(p.ex, p.prog, prev.origs, r.spec)
 		p.met.Observe(StageValidate, time.Since(t0))
+		// The boundary is validated either way: the predecessor's replica
+		// originals and this chunk's published speculative copy are dead.
+		// prev.origs[0] stays live — it is prev.final, the recovery state.
+		p.pool.ReleaseReplicas(prev.origs)
+		p.pool.Release(r.spec)
 	}
 	outs, final, origs := r.outs, r.final, r.origs
 	if !ok {
 		p.aborts.Add(1)
 		p.met.Aborts.Add(1)
+		// The speculative run's states — its final (origs[0]) and its
+		// replicas — are dead; retire them before recovery
+		// re-materializes the set.
+		for _, o := range r.origs {
+			p.pool.Release(o)
+		}
 		outs, final, origs = p.reexec(r, prev.final)
 	} else {
 		p.commits.Add(1)
 		p.met.Commits.Add(1)
 	}
+	oldFinal := prev.final
 	prev.final, prev.origs = final, origs
+	// The old frontier state has served as recovery base for the last
+	// time; retire it. (nil at chunk 0 — Release is nil-tolerant.)
+	p.pool.Release(oldFinal)
 
 	t1 := time.Now()
 	for _, out := range outs {
@@ -85,6 +107,8 @@ func (p *Pipeline) commitOne(r *result, prev *committed) bool {
 			p.met.Outputs.Add(1)
 		}
 	}
+	// The outputs have been copied downstream; recycle the slab.
+	p.slabs.putOut(outs)
 	p.met.Observe(StageCommit, time.Since(t1))
 	p.met.InFlight.Add(-1)
 
@@ -113,14 +137,16 @@ func (p *Pipeline) reexec(r *result, trueFinal core.State) ([]core.Output, core.
 	g := core.NewGang(p.ex, fmt.Sprintf("%s-x%d", prog.Name(), j), p.cfg.InnerWidth, p.countThread)
 	defer g.Close(p.ex)
 
-	s2 := prog.Clone(trueFinal)
+	s2 := p.pool.Clone(trueFinal)
 	p.countState()
 	win := p.window(r.job.inputs)
 	snapAt := len(r.job.inputs) - len(win)
-	outs, snapshot, final := core.ProcessChunk(p.ex, prog, g, r.job.inputs,
-		snapAt, s2, myRng.Derive("reexec"), jit, trace.CatReexec, p.countState)
-	origs := core.OriginalStates(p.ex, prog, fmt.Sprintf("%s-r%d", prog.Name(), j),
+	// The speculative outputs are dead on abort; reuse their slab.
+	outs, snapshot, final := core.ProcessChunk(p.ex, prog, p.pool, g, r.job.inputs,
+		snapAt, s2, myRng.Derive("reexec"), jit, trace.CatReexec, p.countState, r.outs)
+	origs := core.OriginalStates(p.ex, prog, p.pool, fmt.Sprintf("%s-r%d", prog.Name(), j),
 		win, snapshot, final, p.cfg.ExtraStates, myRng.Derive("reorig"), p.countThread, p.countState)
+	p.pool.Release(snapshot)
 
 	p.met.Observe(StageReexec, time.Since(t0))
 	return outs, final, origs

@@ -1,0 +1,77 @@
+package stream
+
+import (
+	"sync"
+
+	"gostats/internal/core"
+)
+
+// slabs recycles the pipeline's per-chunk slices — input chunks built by
+// the assembler and output buffers filled by workers — through the commit
+// stage. A chunk's input slab is dead once its successor has been
+// committed (the successor's alternative producer and a possible re-exec
+// are its last readers); an output slab is dead once its outputs have
+// been flushed downstream. Both free lists are bounded: under steady
+// state the pipeline holds about one slab per in-flight chunk, and a
+// burst beyond the limit just falls back to the allocator.
+type slabs struct {
+	mu    sync.Mutex
+	ins   [][]core.Input
+	outs  [][]core.Output
+	limit int
+}
+
+// takeIn returns an empty input slab with capacity for a chunk of the
+// given size, recycled when possible.
+func (s *slabs) takeIn(size int) []core.Input {
+	s.mu.Lock()
+	if n := len(s.ins); n > 0 {
+		b := s.ins[n-1]
+		s.ins[n-1] = nil
+		s.ins = s.ins[:n-1]
+		s.mu.Unlock()
+		return b[:0]
+	}
+	s.mu.Unlock()
+	return make([]core.Input, 0, size)
+}
+
+// putIn retires a dead input slab. The caller must hold the only live
+// reference — no window or job may still alias it.
+func (s *slabs) putIn(b []core.Input) {
+	if cap(b) == 0 {
+		return
+	}
+	s.mu.Lock()
+	if len(s.ins) < s.limit {
+		s.ins = append(s.ins, b[:0])
+	}
+	s.mu.Unlock()
+}
+
+// takeOut returns an empty output slab with capacity for a chunk of the
+// given size, recycled when possible.
+func (s *slabs) takeOut(size int) []core.Output {
+	s.mu.Lock()
+	if n := len(s.outs); n > 0 {
+		b := s.outs[n-1]
+		s.outs[n-1] = nil
+		s.outs = s.outs[:n-1]
+		s.mu.Unlock()
+		return b[:0]
+	}
+	s.mu.Unlock()
+	return make([]core.Output, 0, size)
+}
+
+// putOut retires a flushed output slab.
+func (s *slabs) putOut(b []core.Output) {
+	if cap(b) == 0 {
+		return
+	}
+	s.mu.Lock()
+	if len(s.outs) < s.limit {
+		s.outs = append(s.outs, b[:0])
+	}
+	s.mu.Unlock()
+}

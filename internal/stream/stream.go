@@ -136,6 +136,7 @@ type Stats struct {
 	Aborts  int64 // speculations aborted and re-executed
 	Resizes int64 // online chunk-size changes
 	States  int64 // computational states materialized
+	Reused  int64 // state clones served from retired buffers (core.StatePool)
 	Threads int64 // goroutine contexts spawned by the protocol
 }
 
@@ -150,14 +151,15 @@ type job struct {
 	initial    core.State   // chunk 0 only: the program's initial state
 }
 
-// result is a worker's speculative execution of one chunk.
+// result is a worker's speculative execution of one chunk. The snapshot
+// the worker took is not carried: it is consumed by original-state
+// generation and retired worker-side.
 type result struct {
-	job      *job
-	spec     core.State // speculative start state (clone), nil for chunk 0
-	outs     []core.Output
-	snapshot core.State
-	final    core.State
-	origs    []core.State
+	job   *job
+	spec  core.State // speculative start state (clone), nil for chunk 0
+	outs  []core.Output
+	final core.State
+	origs []core.State
 }
 
 // Pipeline is a running streaming STATS execution. Create with New, feed
@@ -177,6 +179,8 @@ type Pipeline struct {
 
 	ctl    *autotune.Online
 	met    *Metrics
+	pool   *core.StatePool
+	slabs  slabs
 	closed atomic.Bool
 	stages sync.WaitGroup // the pipeline's stage goroutines
 	all    sync.WaitGroup // stages + the teardown janitor
@@ -233,7 +237,9 @@ func New(ctx context.Context, prog core.Program, cfg Config) (*Pipeline, error) 
 		out:      make(chan core.Output, cfg.QueueDepth),
 		ctl:      ctl,
 		met:      cfg.Metrics,
+		pool:     core.NewStatePool(prog),
 	}
+	p.slabs.limit = 2*cfg.Workers + 4
 	p.met.Sessions.Add(1)
 	p.met.Active.Add(1)
 	p.met.ChunkSize.Store(int64(cfg.ChunkSize))
@@ -338,6 +344,7 @@ func (p *Pipeline) StatsSnapshot() Stats {
 		Aborts:  p.aborts.Load(),
 		Resizes: p.resizes.Load(),
 		States:  p.states.Load(),
+		Reused:  p.pool.Stats().Reused,
 		Threads: p.threads.Load(),
 	}
 }

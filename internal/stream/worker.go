@@ -60,16 +60,20 @@ func (p *Pipeline) speculate(jb *job) *result {
 		s = jb.initial
 	} else {
 		s = core.SpeculativeState(p.ex, prog, jb.prevWindow, myRng, p.countState)
-		res.spec = prog.Clone(s)
+		res.spec = p.pool.Clone(s)
 		p.countState()
 	}
 
 	win := p.window(jb.inputs)
 	snapAt := len(jb.inputs) - len(win)
-	res.outs, res.snapshot, res.final = core.ProcessChunk(p.ex, prog, g, jb.inputs,
-		snapAt, s, myRng.Derive("body"), jit, trace.CatChunkWork, p.countState)
-	res.origs = core.OriginalStates(p.ex, prog, fmt.Sprintf("%s-r%d", prog.Name(), jb.index),
-		win, res.snapshot, res.final, p.cfg.ExtraStates, myRng, p.countThread, p.countState)
+	var snapshot core.State
+	res.outs, snapshot, res.final = core.ProcessChunk(p.ex, prog, p.pool, g, jb.inputs,
+		snapAt, s, myRng.Derive("body"), jit, trace.CatChunkWork, p.countState,
+		p.slabs.takeOut(len(jb.inputs)))
+	res.origs = core.OriginalStates(p.ex, prog, p.pool, fmt.Sprintf("%s-r%d", prog.Name(), jb.index),
+		win, snapshot, res.final, p.cfg.ExtraStates, myRng, p.countThread, p.countState)
+	// The replicas have replayed the window from the snapshot; retire it.
+	p.pool.Release(snapshot)
 
 	p.met.Observe(StageSpeculate, time.Since(t0))
 	return res
