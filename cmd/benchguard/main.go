@@ -1,0 +1,152 @@
+// Command benchguard compares `go test -bench` output against the
+// committed perf baseline in BENCH_streaming.json and fails (exit 1) when
+// allocator traffic regresses beyond tolerance. CI runs it after the
+// benchmark step:
+//
+//	go test -run=NONE -bench 'BenchmarkStreamPipeline' -benchmem -benchtime=10x . | tee bench.out
+//	go run ./cmd/benchguard -baseline BENCH_streaming.json -input bench.out
+//
+// Only benchmarks present in the baseline's "go_bench_baseline" section
+// are checked; wall-clock (ns/op) is deliberately ignored — it is too
+// machine-dependent for CI — while allocs/op and B/op are deterministic
+// enough to guard.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// baselineRow is one benchmark's committed allocator budget.
+type baselineRow struct {
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// report is the slice of BENCH_streaming.json benchguard reads.
+type report struct {
+	GoBench map[string]baselineRow `json:"go_bench_baseline"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_streaming.json", "committed perf baseline")
+	inputPath := flag.String("input", "-", "benchmark output to check (- for stdin)")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression")
+	flag.Parse()
+
+	if err := run(*baselinePath, *inputPath, *tolerance); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath, inputPath string, tolerance float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	if len(rep.GoBench) == 0 {
+		return fmt.Errorf("%s has no go_bench_baseline section", baselinePath)
+	}
+
+	var in io.Reader = os.Stdin
+	if inputPath != "-" {
+		f, err := os.Open(inputPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	measured, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+
+	checked := 0
+	var failures []string
+	for name, base := range rep.GoBench {
+		got, ok := measured[name]
+		if !ok {
+			continue
+		}
+		checked++
+		check := func(metric string, got, base float64) {
+			if base <= 0 {
+				return
+			}
+			if got > base*(1+tolerance) {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %s regressed %.0f -> %.0f (>%.0f%% over baseline)",
+					name, metric, base, got, tolerance*100))
+			} else {
+				fmt.Printf("benchguard: %s %s ok: %.0f vs baseline %.0f\n", name, metric, got, base)
+			}
+		}
+		check("allocs/op", got.AllocsPerOp, base.AllocsPerOp)
+		check("B/op", got.BytesPerOp, base.BytesPerOp)
+	}
+	if checked == 0 {
+		return fmt.Errorf("no baseline benchmark appeared in the input (want one of %v)", keys(rep.GoBench))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("allocation regressions:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// parseBench extracts B/op and allocs/op from standard testing.B output
+// lines. The trailing "-8"-style GOMAXPROCS suffix is stripped so names
+// match the baseline regardless of the runner's core count.
+func parseBench(r io.Reader) (map[string]baselineRow, error) {
+	out := map[string]baselineRow{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		row := out[name]
+		for i := 2; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				row.BytesPerOp = v
+			case "allocs/op":
+				row.AllocsPerOp = v
+			}
+		}
+		if row.AllocsPerOp > 0 || row.BytesPerOp > 0 {
+			out[name] = row
+		}
+	}
+	return out, sc.Err()
+}
+
+func keys(m map[string]baselineRow) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}

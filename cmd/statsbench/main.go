@@ -49,6 +49,7 @@ func main() {
 	perfOut := flag.String("perf-out", "BENCH_streaming.json", "with -perf, write the JSON report here")
 	perfN := flag.Int("perf-n", 400, "with -perf, cap the inputs per benchmark (0: native length)")
 	perfBench := flag.String("perf-benchmarks", "facetrack,streamcluster,streamclassifier", "with -perf, comma-separated benchmarks to measure")
+	autotune := flag.Bool("autotune", false, "run batch workloads with online adaptive chunk sizing; with -perf, also adds adaptive rows to the report")
 	prof := profiling.Register()
 	flag.Parse()
 
@@ -59,10 +60,17 @@ func main() {
 	defer stopProf()
 
 	if *perf {
-		if err := runPerf(strings.Split(*perfBench, ","), *perfN, *seed, *inputSeed, *perfOut); err != nil {
+		if err := runPerf(strings.Split(*perfBench, ","), *perfN, *seed, *inputSeed, *perfOut, *autotune); err != nil {
 			fatalf("perf: %v", err)
 		}
 		fmt.Printf("perf report written to %s\n", *perfOut)
+		return
+	}
+
+	if *autotune {
+		if err := runAutotune(strings.Split(*perfBench, ","), *perfN, *seed, *inputSeed); err != nil {
+			fatalf("autotune: %v", err)
+		}
 		return
 	}
 

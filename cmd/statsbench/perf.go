@@ -10,6 +10,7 @@ import (
 
 	"gostats/internal/bench"
 	"gostats/internal/core"
+	"gostats/internal/engine"
 	"gostats/internal/rng"
 	"gostats/internal/stream"
 )
@@ -34,7 +35,7 @@ var prePRBaseline = map[string]perfRow{
 // perfRow is one measured configuration. Per-op quantities are per input
 // processed, matching the convention of the root BenchmarkStreamPipeline.
 type perfRow struct {
-	Mode        string  `json:"mode"` // "batch" or "stream"
+	Mode        string  `json:"mode"` // "batch", "batch-events", "stream" or "adaptive"
 	Benchmark   string  `json:"benchmark"`
 	Workers     int     `json:"workers"` // stream: pool size; batch: chunk count
 	Inputs      int     `json:"inputs"`
@@ -45,6 +46,18 @@ type perfRow struct {
 	Aborts      int64   `json:"aborts"`
 	CommitRate  float64 `json:"commit_rate"`
 	StatesReuse int64   `json:"states_reused,omitempty"`
+	Resizes     int64   `json:"resizes,omitempty"`
+	// Overheads carries the engine event stream's countable overhead
+	// totals for rows measured with a Counters sink attached.
+	Overheads *engine.OverheadTotals `json:"overheads,omitempty"`
+}
+
+// goBenchRow is one committed `go test -bench` allocator budget; CI's
+// bench-guard step (cmd/benchguard) fails when a run exceeds it by more
+// than its tolerance.
+type goBenchRow struct {
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
 // perfReport is the BENCH_streaming.json schema.
@@ -53,18 +66,32 @@ type perfReport struct {
 	Go       string             `json:"go"`
 	MaxProcs int                `json:"gomaxprocs"`
 	Baseline map[string]perfRow `json:"pre_pr_baseline"`
-	Rows     map[string]perfRow `json:"rows"`
+	// GoBench is the committed benchmark baseline for cmd/benchguard. It
+	// is carried forward verbatim when the report is regenerated; update
+	// it deliberately when a PR moves the allocator budget.
+	GoBench map[string]goBenchRow `json:"go_bench_baseline,omitempty"`
+	Rows    map[string]perfRow    `json:"rows"`
 }
 
-// runPerf measures every requested benchmark in batch mode and in
-// streaming mode at 1, 4, and GOMAXPROCS workers, and writes the report.
-func runPerf(names []string, nInputs int, seed, inputSeed uint64, outPath string) error {
+// runPerf measures every requested benchmark in batch mode (with and
+// without the engine event stream attached) and in streaming mode at 1, 4,
+// and GOMAXPROCS workers — plus, with autotune, the batch workloads under
+// online adaptive chunk sizing — and writes the report.
+func runPerf(names []string, nInputs int, seed, inputSeed uint64, outPath string, autotune bool) error {
 	report := perfReport{
 		Note:     "per-op figures are per input processed on core.NativeExec; regenerate with: go run ./cmd/statsbench -perf",
 		Go:       runtime.Version(),
 		MaxProcs: runtime.GOMAXPROCS(0),
 		Baseline: prePRBaseline,
 		Rows:     map[string]perfRow{},
+	}
+	// The go-bench allocator budget is a committed reference, not a
+	// measurement of this run: carry it forward from the existing report.
+	if old, err := os.ReadFile(outPath); err == nil {
+		var prev perfReport
+		if json.Unmarshal(old, &prev) == nil {
+			report.GoBench = prev.GoBench
+		}
 	}
 	workerCounts := dedupInts([]int{1, 4, runtime.GOMAXPROCS(0)})
 	for _, name := range names {
@@ -85,6 +112,17 @@ func runPerf(names []string, nInputs int, seed, inputSeed uint64, outPath string
 		fmt.Printf("batch  %-18s            %10.0f ns/op %10.0f B/op %8.1f allocs/op\n",
 			name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
 
+		// The same batch run with the engine event stream attached: the
+		// perf trajectory of the instrumented scheduler path, including
+		// its countable overhead totals.
+		row, err = perfBatchEvents(b, inputs, seed)
+		if err != nil {
+			return err
+		}
+		report.Rows[fmt.Sprintf("batch-events/%s", name)] = row
+		fmt.Printf("batch+ %-18s            %10.0f ns/op %10.0f B/op %8.1f allocs/op\n",
+			name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+
 		for _, w := range workerCounts {
 			row, err := perfStream(b, inputs, w, seed)
 			if err != nil {
@@ -93,6 +131,16 @@ func runPerf(names []string, nInputs int, seed, inputSeed uint64, outPath string
 			report.Rows[fmt.Sprintf("stream/%s/workers=%d", name, w)] = row
 			fmt.Printf("stream %-18s workers=%-2d %10.0f ns/op %10.0f B/op %8.1f allocs/op  commit %.2f\n",
 				name, w, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.CommitRate)
+		}
+
+		if autotune {
+			row, err := perfAdaptive(b, inputs, seed)
+			if err != nil {
+				return err
+			}
+			report.Rows[fmt.Sprintf("adaptive/%s", name)] = row
+			fmt.Printf("adapt  %-18s workers=%-2d %10.0f ns/op %10.0f B/op %8.1f allocs/op  commit %.2f  resizes %d\n",
+				name, row.Workers, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.CommitRate, row.Resizes)
 		}
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -140,8 +188,45 @@ func perfBatch(b bench.Benchmark, inputs []core.Input, seed uint64) (perfRow, er
 	}, nil
 }
 
+// perfBatchEvents measures the batch scheduler with the engine event
+// stream attached (a Counters sink): the instrumented engine path. Commit,
+// abort and overhead figures are rendered from the event stream, not from
+// scheduler-private state.
+func perfBatchEvents(b bench.Benchmark, inputs []core.Input, seed uint64) (perfRow, error) {
+	chunks := max(1, len(inputs)/16)
+	cfg := engine.Config{Chunks: chunks, Lookback: 4, ExtraStates: 1, InnerWidth: 1, Seed: seed}
+	var ctr engine.Counters
+	sched := &engine.BatchScheduler{Sink: &ctr}
+	el, mallocs, bytes, err := measure(func() error {
+		_, err := sched.RunSlice(b, inputs, cfg)
+		return err
+	})
+	if err != nil {
+		return perfRow{}, err
+	}
+	return counterRow("batch-events", b.Name(), chunks, len(inputs), el, mallocs, bytes, ctr.Snapshot(), 0), nil
+}
+
+// perfAdaptive measures the batch workload under online adaptive chunk
+// sizing (engine.RunAdaptive): same inputs, but the chunking emerges from
+// commit/abort feedback instead of being fixed up front.
+func perfAdaptive(b bench.Benchmark, inputs []core.Input, seed uint64) (perfRow, error) {
+	const workers = 4
+	cfg := engine.Config{Chunks: max(1, len(inputs)/16), Lookback: 4, ExtraStates: 1, InnerWidth: 1, Seed: seed}
+	var ctr engine.Counters
+	el, mallocs, bytes, err := measure(func() error {
+		_, err := engine.RunAdaptive(context.Background(), b, inputs, cfg, workers, &ctr)
+		return err
+	})
+	if err != nil {
+		return perfRow{}, err
+	}
+	return counterRow("adaptive", b.Name(), workers, len(inputs), el, mallocs, bytes, ctr.Snapshot(), 0), nil
+}
+
 func perfStream(b bench.Benchmark, inputs []core.Input, workers int, seed uint64) (perfRow, error) {
 	var stats stream.Stats
+	var ctr engine.Counters
 	el, mallocs, bytes, err := measure(func() error {
 		p, err := stream.New(context.Background(), b, stream.Config{
 			ChunkSize:   16,
@@ -149,6 +234,7 @@ func perfStream(b bench.Benchmark, inputs []core.Input, workers int, seed uint64
 			ExtraStates: 1,
 			Workers:     workers,
 			Seed:        seed,
+			Sink:        &ctr,
 		})
 		if err != nil {
 			return err
@@ -172,15 +258,52 @@ func perfStream(b bench.Benchmark, inputs []core.Input, workers int, seed uint64
 	if err != nil {
 		return perfRow{}, err
 	}
-	n := float64(len(inputs))
+	row := counterRow("stream", b.Name(), workers, len(inputs), el, mallocs, bytes, ctr.Snapshot(), stats.Reused)
+	return row, nil
+}
+
+// counterRow folds one measured run and its engine counter snapshot into a
+// report row. All protocol figures come from the canonical event stream.
+func counterRow(mode, name string, workers, inputs int, el time.Duration, mallocs, bytes uint64, snap engine.CounterSnapshot, reused int64) perfRow {
+	n := float64(inputs)
+	ov := snap.Overheads()
 	return perfRow{
-		Mode: "stream", Benchmark: b.Name(), Workers: workers, Inputs: len(inputs),
+		Mode: mode, Benchmark: name, Workers: workers, Inputs: inputs,
 		NsPerOp: float64(el.Nanoseconds()) / n, BytesPerOp: float64(bytes) / n,
 		AllocsPerOp: float64(mallocs) / n,
-		Commits:     stats.Commits, Aborts: stats.Aborts,
-		CommitRate:  float64(stats.Commits) / float64(max(1, int(stats.Commits+stats.Aborts))),
-		StatesReuse: stats.Reused,
-	}, nil
+		Commits:     snap.Commits, Aborts: snap.Aborts,
+		CommitRate:  float64(snap.Commits) / float64(max(1, int(snap.Commits+snap.Aborts))),
+		StatesReuse: reused,
+		Resizes:     snap.Resizes,
+		Overheads:   &ov,
+	}
+}
+
+// runAutotune runs each batch workload through the engine with online
+// adaptive chunk sizing and prints how the chunking evolved: the autotuned
+// counterpart of a fixed-chunk batch run, fed by the same commit/abort
+// feedback loop the streaming pipeline uses.
+func runAutotune(names []string, nInputs int, seed, inputSeed uint64) error {
+	for _, name := range names {
+		b, err := bench.New(name)
+		if err != nil {
+			return err
+		}
+		inputs := b.Inputs(rng.New(inputSeed))
+		if nInputs > 0 && nInputs < len(inputs) {
+			inputs = inputs[:nInputs]
+		}
+		row, err := perfAdaptive(b, inputs, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s inputs %-5d commits %-4d aborts %-3d commit-rate %.2f resizes %d\n",
+			name, row.Inputs, row.Commits, row.Aborts, row.CommitRate, row.Resizes)
+		ov := row.Overheads
+		fmt.Printf("%-18s overhead: extra-computation %d  state-copies %d  mispeculation %d\n",
+			"", ov.ExtraComputation, ov.StateCopies, ov.Mispeculation)
+	}
+	return nil
 }
 
 func dedupInts(xs []int) []int {

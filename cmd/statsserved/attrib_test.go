@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"gostats/internal/critpath"
+)
+
+// TestSessionAttribution posts one session with attrib=1 and checks the
+// trailer carries a populated six-category loss breakdown: the same
+// committed outputs as an unattributed session, plus an attribution block
+// whose categories sum to the total and whose ideal reflects workers+1
+// cores (the pool plus the commit frontier).
+func TestSessionAttribution(t *testing.T) {
+	cfg := baseConfig()
+	ts := httptest.NewServer(newServer(cfg).handler())
+	defer ts.Close()
+
+	const name = "facetrack"
+	inputs := sessionInputs(t, name, 64)
+	body := ndjsonBody(t, name, inputs)
+
+	plain, _ := runSession(t, ts.URL, name, body)
+
+	resp, err := http.Post(ts.URL+"/v1/stream/"+name+"?attrib=1",
+		"application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("short response: %q", lines)
+	}
+	var tr sessionTrailer
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &tr); err != nil {
+		t.Fatalf("bad trailer %q: %v", lines[len(lines)-1], err)
+	}
+	outs := lines[:len(lines)-1]
+
+	if !tr.Done || tr.Error != "" {
+		t.Fatalf("trailer not clean: %+v", tr)
+	}
+	if len(outs) != len(plain) {
+		t.Fatalf("attributed session emitted %d outputs, plain session %d",
+			len(outs), len(plain))
+	}
+	for i := range plain {
+		if outs[i] != plain[i] {
+			t.Fatalf("output %d differs with attrib=1:\n got  %s\n want %s",
+				i, outs[i], plain[i])
+		}
+	}
+
+	a := tr.Attribution
+	if a == nil {
+		t.Fatal("trailer has no attribution block")
+	}
+	if a.Error != "" {
+		t.Fatalf("attribution error: %s", a.Error)
+	}
+	wantIdeal := float64(cfg.Workers + 1)
+	if a.Ideal != wantIdeal {
+		t.Fatalf("ideal = %v, want %v (workers+frontier)", a.Ideal, wantIdeal)
+	}
+	if a.Measured <= 0 {
+		t.Fatalf("measured speedup = %v, want > 0", a.Measured)
+	}
+	if len(a.LostPct) != critpath.NumLosses {
+		t.Fatalf("lostPct has %d categories, want %d: %v",
+			len(a.LostPct), critpath.NumLosses, a.LostPct)
+	}
+	var sum float64
+	for l := 0; l < critpath.NumLosses; l++ {
+		pct, ok := a.LostPct[critpath.Loss(l).String()]
+		if !ok {
+			t.Fatalf("lostPct missing category %s", critpath.Loss(l))
+		}
+		if pct < 0 {
+			t.Fatalf("lostPct[%s] = %v", critpath.Loss(l), pct)
+		}
+		sum += pct
+	}
+	if d := sum - a.TotalLostPct; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("categories sum to %v, totalLostPct = %v", sum, a.TotalLostPct)
+	}
+
+	// The plain session must not pay for attribution it did not ask for.
+	_, plainTr := runSession(t, ts.URL, name, body)
+	if plainTr.Attribution != nil {
+		t.Fatal("unattributed session trailer carries an attribution block")
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"strconv"
 
 	"gostats/internal/bench"
+	"gostats/internal/critpath"
+	"gostats/internal/engine"
 	"gostats/internal/stream"
 )
 
@@ -63,6 +65,39 @@ type sessionTrailer struct {
 	Benchmark string       `json:"benchmark"`
 	Stats     stream.Stats `json:"stats"`
 	Error     string       `json:"error,omitempty"`
+	// Attribution is the six-category overhead breakdown of the session,
+	// present when the request asked for it with attrib=1.
+	Attribution *attribution `json:"attribution,omitempty"`
+}
+
+// attribution is the paper's speedup-loss decomposition rendered for the
+// trailer: how much of the ideal (linear) speedup the session achieved
+// and where the rest went.
+type attribution struct {
+	Ideal        float64            `json:"ideal"`
+	Measured     float64            `json:"measured"`
+	TotalLostPct float64            `json:"totalLostPct"`
+	LostPct      map[string]float64 `json:"lostPct"`
+	Error        string             `json:"error,omitempty"`
+}
+
+// attribute folds a session recorder into the trailer's attribution.
+func attribute(rec *engine.Recorder, workers int) *attribution {
+	cores := workers + 1 // worker pool plus the commit frontier
+	b, err := rec.Breakdown(cores)
+	if err != nil {
+		return &attribution{Error: err.Error()}
+	}
+	a := &attribution{
+		Ideal:        b.Ideal,
+		Measured:     b.Measured,
+		TotalLostPct: b.TotalLostPct,
+		LostPct:      make(map[string]float64, critpath.NumLosses),
+	}
+	for l := 0; l < critpath.NumLosses; l++ {
+		a.LostPct[critpath.Loss(l).String()] = b.LostPct[l]
+	}
+	return a
 }
 
 // handleStream runs one streaming session: NDJSON inputs in the request
@@ -85,6 +120,20 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if err := applyQuery(&cfg, r); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	// attrib=1 attaches a recorder to the session's engine event stream;
+	// the trailer then carries the overhead breakdown of this session.
+	var rec *engine.Recorder
+	if v := r.URL.Query().Get("attrib"); v != "" {
+		on, err := strconv.ParseBool(v)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("query attrib=%q: %v", v, err), http.StatusBadRequest)
+			return
+		}
+		if on {
+			rec = engine.NewRecorder()
+			cfg.Sink = rec
+		}
 	}
 
 	// The session lives inside the request context: a client disconnect or
@@ -160,6 +209,13 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	pushErr := <-pushDone
 	stats, runErr := p.Wait()
 	tr := sessionTrailer{Done: true, Benchmark: name, Stats: stats}
+	if rec != nil {
+		workers := cfg.Workers
+		if workers == 0 {
+			workers = 4 // the pipeline default
+		}
+		tr.Attribution = attribute(rec, workers)
+	}
 	for _, err := range []error{encErr, pushErr, runErr} {
 		if err != nil {
 			tr.Done, tr.Error = false, err.Error()

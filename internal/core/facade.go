@@ -1,0 +1,142 @@
+// Package core is the historical home of the STATS execution model and
+// now a façade over package engine, which owns the protocol: chunking,
+// alternative-producer speculative states, multiple original states,
+// digest-gated validation, ordered commit/abort with in-place
+// re-execution, and state recycling. Every type here is an alias of the
+// engine type (not a copy), so values flow freely between the two
+// packages and code written against core keeps compiling unchanged.
+//
+// New code should use package engine directly — in particular its
+// Scheduler interface (BatchScheduler, StreamScheduler, SimScheduler) and
+// its canonical event stream, which this façade does not re-export.
+package core
+
+import (
+	"gostats/internal/engine"
+	"gostats/internal/machine"
+	"gostats/internal/rng"
+	"gostats/internal/trace"
+)
+
+// Program-facing types (see engine for documentation).
+type (
+	// State is an opaque computational state.
+	State = engine.State
+	// Input is one element of the program's input stream.
+	Input = engine.Input
+	// Output is the result of one update.
+	Output = engine.Output
+	// StateDependence is the short-memory program contract (§II-A).
+	StateDependence = engine.StateDependence
+	// UpdateWork is the simulated cost of one update call.
+	UpdateWork = engine.UpdateWork
+	// CostModel prices the program's operations for the simulator.
+	CostModel = engine.CostModel
+	// Program is a benchmark runnable under the execution model.
+	Program = engine.Program
+)
+
+// Execution substrate types.
+type (
+	// Exec abstracts the execution substrate (simulated or native).
+	Exec = engine.Exec
+	// Handle identifies a spawned thread for Join.
+	Handle = engine.Handle
+	// Mutex is a substrate-owned lock.
+	Mutex = engine.Mutex
+	// Cond is a substrate-owned condition variable.
+	Cond = engine.Cond
+	// SimExec adapts a machine.Thread to Exec.
+	SimExec = engine.SimExec
+	// NativeExec runs the protocol on plain goroutines.
+	NativeExec = engine.NativeExec
+)
+
+// State-lifecycle types.
+type (
+	// StateRecycler lets a program recycle retired state buffers.
+	StateRecycler = engine.StateRecycler
+	// Fingerprinter lets a program publish a state digest for
+	// comparison gating.
+	Fingerprinter = engine.Fingerprinter
+	// PoolStats summarizes a StatePool's activity.
+	PoolStats = engine.PoolStats
+	// StatePool tracks state buffers through the protocol's lifecycle.
+	StatePool = engine.StatePool
+	// Gang runs a program's original (inner) TLP.
+	Gang = engine.Gang
+)
+
+// Run configuration and results.
+type (
+	// Config selects a point in the STATS design space (§II-B).
+	Config = engine.Config
+	// Report describes one run of the execution model.
+	Report = engine.Report
+)
+
+// NewSimExec wraps a simulated thread.
+func NewSimExec(th *machine.Thread) *SimExec { return engine.NewSimExec(th) }
+
+// NewNativeExec returns the native (goroutine) substrate.
+func NewNativeExec() *NativeExec { return engine.NewNativeExec() }
+
+// NewStatePool returns an empty pool for p's states.
+func NewStatePool(p Program) *StatePool { return engine.NewStatePool(p) }
+
+// NewGang creates a gang of width-1 helper threads.
+func NewGang(ex Exec, name string, width int, counter func()) *Gang {
+	return engine.NewGang(ex, name, width, counter)
+}
+
+// Run executes the STATS execution model for p over inputs.
+func Run(ex Exec, p Program, inputs []Input, cfg Config) (*Report, error) {
+	return engine.Run(ex, p, inputs, cfg)
+}
+
+// RunSequential executes the original sequential program.
+func RunSequential(ex Exec, p Program, inputs []Input, seed uint64) *Report {
+	return engine.RunSequential(ex, p, inputs, seed)
+}
+
+// RunOriginal executes the program with only its original TLP.
+func RunOriginal(ex Exec, p Program, inputs []Input, width int, seed uint64) *Report {
+	return engine.RunOriginal(ex, p, inputs, width, seed)
+}
+
+// SpeculativeState builds a chunk's speculative start state (§III-B).
+func SpeculativeState(ex Exec, p Program, window []Input, workerRng *rng.Stream, onState func()) State {
+	return engine.SpeculativeState(ex, p, window, workerRng, onState)
+}
+
+// ProcessChunk runs one chunk's updates from state s.
+func ProcessChunk(ex Exec, p Program, pool *StatePool, g *Gang, chunk []Input, snapAt int, s State, rnd, jit *rng.Stream, cat trace.Category, onState func(), outBuf []Output) ([]Output, State, State) {
+	return engine.ProcessChunk(ex, p, pool, g, chunk, snapAt, s, rnd, jit, cat, onState, outBuf)
+}
+
+// OriginalStates generates a chunk boundary's original-state set (§III-B).
+func OriginalStates(ex Exec, p Program, pool *StatePool, tag string, window []Input, snapshot, final State, extra int, rnd *rng.Stream, onThread, onState func()) []State {
+	return engine.OriginalStates(ex, p, pool, tag, window, snapshot, final, extra, rnd, onThread, onState)
+}
+
+// MatchAny compares a speculative state against the original states.
+func MatchAny(ex Exec, p Program, origs []State, spec State) bool {
+	return engine.MatchAny(ex, p, origs, spec)
+}
+
+// QuantizeLane maps a tolerance-compared float to a digest lane.
+func QuantizeLane(v, cell float64) int64 { return engine.QuantizeLane(v, cell) }
+
+// ExactLane maps an exactly-compared integer to a digest lane.
+func ExactLane(v int64) int64 { return engine.ExactLane(v) }
+
+// PackLanes folds lanes into a single comparable digest.
+func PackLanes(lanes ...int64) uint64 { return engine.PackLanes(lanes...) }
+
+// DigestsMayMatch reports whether two digests could belong to matching
+// states (the validation fast path).
+func DigestsMayMatch(a, b uint64) bool { return engine.DigestsMayMatch(a, b) }
+
+// partition is kept for the oracle and tests; engine.Partition is the
+// canonical boundary rule shared by every scheduler.
+func partition(n, k int) [][2]int { return engine.Partition(n, k) }

@@ -1,6 +1,4 @@
-package stream
-
-import "gostats/internal/core"
+package engine
 
 // assemble is the chunk-assembly stage: it groups ingested inputs into
 // chunks, attaches the previous chunk's lookback window (what the next
@@ -13,7 +11,7 @@ func (p *Pipeline) assemble() {
 
 	j := 0        // next chunk index
 	consumed := 0 // commit outcomes consumed so far
-	var prevWindow []core.Input
+	var prevWindow []Input
 
 	size, ok := p.sizeFor(j, &consumed)
 	if !ok {
@@ -40,7 +38,7 @@ func (p *Pipeline) assemble() {
 			if !p.dispatch(j, buf, prevWindow) {
 				return
 			}
-			prevWindow = p.window(buf)
+			prevWindow = p.chunkWindow(buf)
 			j++
 			if size, ok = p.sizeFor(j, &consumed); !ok {
 				return
@@ -73,10 +71,13 @@ func (p *Pipeline) sizeFor(j int, consumed *int) (int, bool) {
 			n, _, _ := p.ctl.Resizes()
 			if delta := int64(n) - p.resizes.Load(); delta > 0 {
 				p.resizes.Store(int64(n))
-				p.met.Resizes.Add(delta)
-				p.met.ChunkSize.Store(int64(p.ctl.ChunkSize()))
+				p.emit(Event{Kind: EvResize, Chunk: j, Worker: -1,
+					N: p.ctl.ChunkSize(), M: int(delta)})
 			}
 		}
+	}
+	if j < len(p.cfg.Plan) {
+		return p.cfg.Plan[j], true
 	}
 	if p.ctl != nil {
 		return p.ctl.ChunkSize(), true
@@ -88,7 +89,7 @@ func (p *Pipeline) sizeFor(j int, consumed *int) (int, bool) {
 // the program's initial state (the state the original sequential code
 // starts from); every later chunk starts from an alternative-produced
 // speculative state instead.
-func (p *Pipeline) dispatch(j int, inputs, prevWindow []core.Input) bool {
+func (p *Pipeline) dispatch(j int, inputs, prevWindow []Input) bool {
 	jb := &job{index: j, inputs: inputs}
 	if j == 0 {
 		jb.initial = p.prog.Initial(p.root.Derive("init"))
@@ -101,8 +102,7 @@ func (p *Pipeline) dispatch(j int, inputs, prevWindow []core.Input) bool {
 		return false
 	case p.jobs <- jb:
 		p.chunks.Add(1)
-		p.met.Chunks.Add(1)
-		p.met.InFlight.Add(1)
+		p.emit(Event{Kind: EvChunk, Chunk: j, Worker: -1, N: len(inputs)})
 		return true
 	}
 }

@@ -1,0 +1,154 @@
+package engine_test
+
+import (
+	"math"
+	"testing"
+
+	"gostats/internal/bench"
+	_ "gostats/internal/bench/all"
+	"gostats/internal/critpath"
+	"gostats/internal/engine"
+	"gostats/internal/machine"
+	"gostats/internal/rng"
+	"gostats/internal/trace"
+)
+
+// checkBreakdown asserts the internal consistency every six-category
+// decomposition must satisfy regardless of where its trace came from: the
+// per-category losses sum to the total, the extra-computation components
+// sum to their category, and nothing is NaN or negative.
+func checkBreakdown(t *testing.T, b critpath.Breakdown, cores int) {
+	t.Helper()
+	if b.Ideal != float64(cores) {
+		t.Fatalf("Ideal = %v, want %d", b.Ideal, cores)
+	}
+	if b.Measured <= 0 {
+		t.Fatalf("Measured speedup = %v, want > 0", b.Measured)
+	}
+	var sum float64
+	for l, pct := range b.LostPct {
+		if math.IsNaN(pct) || pct < 0 {
+			t.Fatalf("LostPct[%s] = %v", critpath.Loss(l), pct)
+		}
+		sum += pct
+	}
+	if math.Abs(sum-b.TotalLostPct) > 1e-6 {
+		t.Fatalf("category losses sum to %v, TotalLostPct = %v", sum, b.TotalLostPct)
+	}
+	var extra float64
+	for p, pct := range b.ExtraPct {
+		if math.IsNaN(pct) || pct < 0 {
+			t.Fatalf("ExtraPct[%s] = %v", critpath.ExtraPart(p), pct)
+		}
+		extra += pct
+	}
+	if math.Abs(extra-b.LostPct[critpath.LossExtraComputation]) > 1e-6 {
+		t.Fatalf("extra components sum to %v, category is %v",
+			extra, b.LostPct[critpath.LossExtraComputation])
+	}
+}
+
+// TestStreamAttribution drives a streaming session with a Recorder sink and
+// checks the resulting wall-clock trace supports the paper's full
+// six-category decomposition: the trace validates, carries worker intervals
+// in the protocol categories plus commit-dependence edges, and Breakdown
+// produces a self-consistent result.
+func TestStreamAttribution(t *testing.T) {
+	b, err := bench.New("facetrack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := b.Inputs(rng.New(1))[:96]
+	cfg := engine.Config{Chunks: 8, Lookback: 4, ExtraStates: 1, InnerWidth: 1, Seed: 7}
+
+	const workers = 3
+	rec := engine.NewRecorder()
+	sched := &engine.StreamScheduler{Workers: workers, Sink: rec}
+	rep, err := sched.RunSlice(b, inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outputs) != len(inputs) {
+		t.Fatalf("committed %d outputs, want %d", len(rep.Outputs), len(inputs))
+	}
+
+	tr := rec.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("recorded trace invalid: %v", err)
+	}
+	byCat := tr.CyclesByCategory()
+	for _, cat := range []trace.Category{
+		trace.CatAltProducer, trace.CatStateCopy, trace.CatChunkWork,
+		trace.CatOrigStates, trace.CatCompare,
+	} {
+		if byCat[cat] == 0 {
+			t.Errorf("no recorded time in category %v", cat)
+		}
+	}
+	if rec.SeqEstimateNs() <= 0 {
+		t.Fatalf("SeqEstimateNs = %d, want > 0", rec.SeqEstimateNs())
+	}
+
+	// Thread 0 is the commit frontier; workers+1 threads total.
+	bd, err := rec.Breakdown(workers + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBreakdown(t, bd, workers+1)
+	// Native sessions use an ideal oracle, so nothing lands in
+	// "unreachable" by construction.
+	if bd.LostPct[critpath.LossUnreachable] != 0 {
+		t.Fatalf("unreachable loss = %v, want 0 under the ideal oracle",
+			bd.LostPct[critpath.LossUnreachable])
+	}
+}
+
+// TestSimAttribution runs the same protocol under the simulated-machine
+// scheduler with a cycle-exact trace attached and feeds it through the same
+// decomposition, confirming the one engine protocol body supports
+// attribution on both the native and simulated paths.
+func TestSimAttribution(t *testing.T) {
+	b, err := bench.New("facetrack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := b.Inputs(rng.New(1))[:96]
+	cfg := engine.Config{Chunks: 8, Lookback: 4, ExtraStates: 1, InnerWidth: 1, Seed: 7}
+	const cores = 8
+
+	// Sequential baseline on a one-core machine gives seqCycles.
+	seqM := machine.New(machine.DefaultConfig(1))
+	if err := seqM.Run("main", func(th *machine.Thread) {
+		engine.RunSequential(engine.NewSimExec(th), b, inputs, cfg.Seed)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	seqCycles := seqM.Now()
+	if seqCycles <= 0 {
+		t.Fatalf("sequential run took %d cycles", seqCycles)
+	}
+
+	tr := trace.New()
+	sched := &engine.SimScheduler{
+		Config:  machine.DefaultConfig(cores),
+		Options: []machine.Option{machine.WithTrace(tr)},
+	}
+	rep, err := sched.RunSlice(b, inputs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outputs) != len(inputs) {
+		t.Fatalf("committed %d outputs, want %d", len(rep.Outputs), len(inputs))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("simulated trace invalid: %v", err)
+	}
+
+	a, err := critpath.New(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := critpath.Oracle{CleanTuned: float64(cores), CleanMax: float64(cores)}
+	bd := critpath.Decompose(a, seqCycles, cores, oracle)
+	checkBreakdown(t, bd, cores)
+}

@@ -1,8 +1,9 @@
-package core
+package engine
 
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"gostats/internal/rng"
 	"gostats/internal/trace"
@@ -42,6 +43,7 @@ type run struct {
 	outs   [][]Output
 	root   *rng.Stream
 	pool   *StatePool
+	sink   Sink
 
 	threads atomic.Int64
 	states  atomic.Int64
@@ -52,25 +54,34 @@ type run struct {
 // Run executes the STATS execution model for p over inputs on the given
 // executor, returning the ordered outputs and resource/commit statistics.
 // Must be called from an executor context (for SimExec, from inside
-// machine.Run).
+// machine.Run). Run is the BatchScheduler body; use BatchScheduler to
+// also receive the engine event stream.
 func Run(ex Exec, p Program, inputs []Input, cfg Config) (*Report, error) {
+	return runBatch(ex, p, inputs, cfg, nil)
+}
+
+func runBatch(ex Exec, p Program, inputs []Input, cfg Config, sink Sink) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if len(inputs) == 0 {
-		return nil, fmt.Errorf("core: empty input stream")
+		return nil, fmt.Errorf("engine: empty input stream")
 	}
 	rt := &run{
 		prog:   p,
 		cfg:    cfg,
 		inputs: inputs,
-		bounds: partition(len(inputs), cfg.Chunks),
+		bounds: Partition(len(inputs), cfg.Chunks),
 		root:   rng.New(cfg.Seed).Derive("stats:" + p.Name()),
 		pool:   NewStatePool(p),
+		sink:   sink,
 	}
 	chunks := len(rt.bounds)
 	rt.slots = make([]*slot, chunks)
 	rt.outs = make([][]Output, chunks)
+
+	rt.emit(Event{Kind: EvSessionStart, Chunk: -1, Worker: -1})
+	rt.emit(Event{Kind: EvIngest, Chunk: -1, Worker: -1, N: len(inputs)})
 
 	// --- Sequential code before the STATS region (§III-D). ---
 	ex.SetCat(trace.CatSeqCode)
@@ -125,7 +136,31 @@ func Run(ex Exec, p Program, inputs []Input, cfg Config) (*Report, error) {
 	for _, outs := range rt.outs {
 		rep.Outputs = append(rep.Outputs, outs...)
 	}
+	rt.emit(Event{Kind: EvSessionEnd, Chunk: -1, Worker: -1})
 	return rep, nil
+}
+
+// emit delivers e to the attached sink, if any.
+func (rt *run) emit(e Event) {
+	if rt.sink != nil {
+		rt.sink.Event(e)
+	}
+}
+
+// now reads the wall clock only when timing is being collected.
+func (rt *run) now() time.Time {
+	if rt.sink == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// since converts a phase start from now() into a duration.
+func (rt *run) since(t0 time.Time) time.Duration {
+	if rt.sink == nil || t0.IsZero() {
+		return 0
+	}
+	return time.Since(t0)
 }
 
 // chunkInputs returns chunk j's input slice.
@@ -161,17 +196,24 @@ func (rt *run) worker(ex Exec, j int, start State) {
 
 	last := j == len(rt.bounds)-1
 	s := start
+	rt.emit(Event{Kind: EvChunk, Chunk: j, Worker: j, N: len(rt.chunkInputs(j))})
+	tSpec := rt.now()
 
 	if j > 0 {
 		// Alternative producer: build the speculative start state by
 		// replaying only the last k inputs of the previous chunk from a
 		// cold state (§III-B "Generating speculative states").
+		t0 := rt.now()
 		s = SpeculativeState(ex, p, rt.window(j-1), myRng, rt.countState)
+		rt.emit(Event{Kind: EvAltProduced, Chunk: j, Worker: j,
+			N: len(rt.window(j - 1)), Start: t0, Dur: rt.since(t0)})
 		// Publish a copy of the speculative state so the predecessor can
 		// check it while this worker speculatively computes the chunk.
+		t0 = rt.now()
 		spec := rt.pool.Clone(s)
 		rt.states.Add(1)
 		ex.Copy(p.StateBytes(), ex.Loc(), p.Name()+".spec")
+		rt.emit(Event{Kind: EvSpecPublished, Chunk: j, Worker: j, Start: t0, Dur: rt.since(t0)})
 		sl := rt.slots[j]
 		sl.mu.Lock(ex)
 		sl.spec = spec
@@ -181,7 +223,7 @@ func (rt *run) worker(ex Exec, j int, start State) {
 	}
 
 	// Speculatively (for j > 0) process the chunk.
-	outs, snapshot, final := rt.processChunk(ex, g, j, s, myRng.Derive("body"), jit, trace.CatChunkWork)
+	outs, snapshot, final := rt.runChunk(ex, g, j, s, myRng.Derive("body"), jit, trace.CatChunkWork, EvBody)
 
 	var origs []State
 	if !last {
@@ -189,6 +231,8 @@ func (rt *run) worker(ex Exec, j int, start State) {
 		// The snapshot has been replayed into the replicas; retire it.
 		rt.pool.Release(snapshot)
 	}
+	rt.emit(Event{Kind: EvSpeculated, Chunk: j, Worker: j,
+		N: len(rt.chunkInputs(j)), Start: tSpec, Dur: rt.since(tSpec)})
 
 	// Wait for this chunk's own commit decision (program order).
 	if j > 0 {
@@ -205,6 +249,7 @@ func (rt *run) worker(ex Exec, j int, start State) {
 			// including its final state, origs[0] — are dead; retire them
 			// before the recovery run re-materializes the set.
 			rt.aborts.Add(1)
+			rt.emit(Event{Kind: EvAborted, Chunk: j, Worker: j})
 			if last {
 				rt.pool.Release(final)
 			}
@@ -212,21 +257,27 @@ func (rt *run) worker(ex Exec, j int, start State) {
 				rt.pool.Release(o)
 			}
 			origs = nil
+			t0 := rt.now()
 			s2 := rt.pool.Clone(tf)
 			rt.states.Add(1)
 			ex.Copy(p.StateBytes(), srcLoc, p.Name()+".recover")
-			outs, snapshot, final = rt.processChunk(ex, g, j, s2, myRng.Derive("reexec"), jit, trace.CatReexec)
+			outs, snapshot, final = rt.runChunk(ex, g, j, s2, myRng.Derive("reexec"), jit, trace.CatReexec, EvReexec)
+			rt.emit(Event{Kind: EvReexec, Chunk: j, Worker: j,
+				N: len(rt.chunkInputs(j)), Start: t0, Dur: rt.since(t0)})
 			if !last {
 				origs = rt.genOrigStates(ex, j, snapshot, final, myRng.Derive("reorig"))
 				rt.pool.Release(snapshot)
 			}
 		} else {
 			rt.commits.Add(1)
+			rt.emit(Event{Kind: EvCommitted, Chunk: j, Worker: j})
 		}
 	} else {
 		rt.commits.Add(1)
+		rt.emit(Event{Kind: EvCommitted, Chunk: j, Worker: j})
 	}
 	rt.outs[j] = outs
+	rt.emit(Event{Kind: EvOutputs, Chunk: j, Worker: j, N: len(outs)})
 
 	// Now committed: decide the successor chunk's fate by comparing its
 	// speculative state against this chunk's original states (§II-B).
@@ -239,7 +290,10 @@ func (rt *run) worker(ex Exec, j int, start State) {
 		spec := nxt.spec
 		nxt.mu.Unlock(ex)
 
-		matched := MatchAny(ex, p, origs, spec)
+		t0 := rt.now()
+		matched, inspected := matchAnyN(ex, p, origs, spec)
+		rt.emit(Event{Kind: EvValidated, Chunk: j + 1, Worker: j,
+			N: inspected, Matched: matched, Start: t0, Dur: rt.since(t0)})
 		// The boundary is validated: the replica originals and the
 		// successor's published speculative copy are both dead. origs[0]
 		// (this chunk's final state) lives on as the successor's recovery
@@ -264,29 +318,42 @@ func (rt *run) worker(ex Exec, j int, start State) {
 func (rt *run) countState()  { rt.states.Add(1) }
 func (rt *run) countThread() { rt.threads.Add(1) }
 
-// processChunk runs chunk j's updates from state s via the exported
-// ProcessChunk primitive, snapshotting the state window-length inputs
-// before the end (the base the original-state replicas replay from). It
-// returns the outputs, the snapshot (nil for the last chunk) and the
-// final state.
-func (rt *run) processChunk(ex Exec, g *Gang, j int, s State, rnd, jit *rng.Stream, cat trace.Category) ([]Output, State, State) {
+// runChunk runs chunk j's updates from state s via the ProcessChunk
+// primitive, snapshotting the state window-length inputs before the end
+// (the base the original-state replicas replay from). It returns the
+// outputs, the snapshot (nil for the last chunk) and the final state.
+// bodyKind labels the body event (EvBody for speculative runs, EvReexec
+// timing is emitted by the caller around the recovery run).
+func (rt *run) runChunk(ex Exec, g *Gang, j int, s State, rnd, jit *rng.Stream, cat trace.Category, bodyKind Kind) ([]Output, State, State) {
 	chunk := rt.chunkInputs(j)
 	snapAt := -1
 	if j != len(rt.bounds)-1 {
 		snapAt = len(chunk) - len(rt.window(j))
 	}
-	return ProcessChunk(ex, rt.prog, rt.pool, g, chunk, snapAt, s, rnd, jit, cat, rt.countState, nil)
+	t0 := rt.now()
+	outs, snapshot, final := ProcessChunk(ex, rt.prog, rt.pool, g, chunk, snapAt, s, rnd, jit, cat, rt.countState, nil)
+	if bodyKind == EvBody {
+		rt.emit(Event{Kind: EvBody, Chunk: j, Worker: j, N: len(chunk), Start: t0, Dur: rt.since(t0)})
+	}
+	if snapshot != nil {
+		rt.emit(Event{Kind: EvSnapshot, Chunk: j, Worker: j})
+	}
+	return outs, snapshot, final
 }
 
 // genOrigStates produces the set of original states for chunk j's
-// boundary via the exported OriginalStates primitive: the worker's own
-// final state plus ExtraStates replicas, each re-running the last window
-// inputs from the snapshot with fresh nondeterminism on its own thread
-// (Fig. 5, cores 0–2).
+// boundary via the OriginalStates primitive: the worker's own final state
+// plus ExtraStates replicas, each re-running the last window inputs from
+// the snapshot with fresh nondeterminism on its own thread (Fig. 5,
+// cores 0–2).
 func (rt *run) genOrigStates(ex Exec, j int, snapshot, final State, rnd *rng.Stream) []State {
 	tag := fmt.Sprintf("%s-r%d", rt.prog.Name(), j)
-	return OriginalStates(ex, rt.prog, rt.pool, tag, rt.window(j), snapshot, final,
+	t0 := rt.now()
+	origs := OriginalStates(ex, rt.prog, rt.pool, tag, rt.window(j), snapshot, final,
 		rt.cfg.ExtraStates, rnd, rt.countThread, rt.countState)
+	rt.emit(Event{Kind: EvOrigStates, Chunk: j, Worker: j,
+		N: len(origs) - 1, M: len(rt.window(j)), Start: t0, Dur: rt.since(t0)})
+	return origs
 }
 
 // RunSequential executes the original sequential program (the Fig. 9

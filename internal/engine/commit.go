@@ -1,10 +1,9 @@
-package stream
+package engine
 
 import (
 	"fmt"
 	"time"
 
-	"gostats/internal/core"
 	"gostats/internal/trace"
 )
 
@@ -12,8 +11,8 @@ import (
 // the lineage state the next chunk is validated against and, on
 // mispeculation, recovered from.
 type committed struct {
-	final core.State
-	origs []core.State
+	final State
+	origs []State
 }
 
 // commit is the ordered commit stage: it reorders worker results into
@@ -22,13 +21,13 @@ type committed struct {
 // no locks — order is enforced structurally.
 func (p *Pipeline) commit() {
 	defer p.stages.Done()
-	defer p.met.Active.Add(-1)
+	defer p.emit(Event{Kind: EvSessionEnd, Chunk: -1, Worker: -1})
 	defer close(p.out)
 
 	pending := map[int]*result{}
 	next := 0
 	var prev committed
-	var prevInputs []core.Input // committed predecessor's chunk inputs
+	var prevInputs []Input // committed predecessor's chunk inputs
 	for {
 		select {
 		case <-p.ctx.Done():
@@ -68,8 +67,10 @@ func (p *Pipeline) commitOne(r *result, prev *committed) bool {
 	ok := true
 	if j > 0 {
 		t0 := time.Now()
-		ok = core.MatchAny(p.ex, p.prog, prev.origs, r.spec)
-		p.met.Observe(StageValidate, time.Since(t0))
+		var inspected int
+		ok, inspected = matchAnyN(p.ex, p.prog, prev.origs, r.spec)
+		p.emit(Event{Kind: EvValidated, Chunk: j, Worker: -1,
+			N: inspected, Matched: ok, Start: t0, Dur: time.Since(t0)})
 		// The boundary is validated either way: the predecessor's replica
 		// originals and this chunk's published speculative copy are dead.
 		// prev.origs[0] stays live — it is prev.final, the recovery state.
@@ -79,7 +80,7 @@ func (p *Pipeline) commitOne(r *result, prev *committed) bool {
 	outs, final, origs := r.outs, r.final, r.origs
 	if !ok {
 		p.aborts.Add(1)
-		p.met.Aborts.Add(1)
+		p.emit(Event{Kind: EvAborted, Chunk: j, Worker: -1})
 		// The speculative run's states — its final (origs[0]) and its
 		// replicas — are dead; retire them before recovery
 		// re-materializes the set.
@@ -89,7 +90,7 @@ func (p *Pipeline) commitOne(r *result, prev *committed) bool {
 		outs, final, origs = p.reexec(r, prev.final)
 	} else {
 		p.commits.Add(1)
-		p.met.Commits.Add(1)
+		p.emit(Event{Kind: EvCommitted, Chunk: j, Worker: -1})
 	}
 	oldFinal := prev.final
 	prev.final, prev.origs = final, origs
@@ -104,13 +105,12 @@ func (p *Pipeline) commitOne(r *result, prev *committed) bool {
 			return false
 		case p.out <- out:
 			p.outputs.Add(1)
-			p.met.Outputs.Add(1)
 		}
 	}
+	p.emit(Event{Kind: EvOutputs, Chunk: j, Worker: -1,
+		N: len(outs), Start: t1, Dur: time.Since(t1)})
 	// The outputs have been copied downstream; recycle the slab.
 	p.slabs.putOut(outs)
-	p.met.Observe(StageCommit, time.Since(t1))
-	p.met.InFlight.Add(-1)
 
 	// Feed the outcome window: this both opens one speculation slot for
 	// the assembler and, in commit order, drives adaptive chunk sizing.
@@ -128,26 +128,33 @@ func (p *Pipeline) commitOne(r *result, prev *committed) bool {
 // against. Recovery runs at the commit frontier, serializing the pipeline
 // for the chunk's length — that serialization is exactly the
 // mispeculation cost the paper's loss decomposition charges.
-func (p *Pipeline) reexec(r *result, trueFinal core.State) ([]core.Output, core.State, []core.State) {
+func (p *Pipeline) reexec(r *result, trueFinal State) ([]Output, State, []State) {
 	t0 := time.Now()
 	prog := p.prog
 	j := r.job.index
 	myRng := p.workerRng(j)
 	jit := myRng.Derive("jitter")
-	g := core.NewGang(p.ex, fmt.Sprintf("%s-x%d", prog.Name(), j), p.cfg.InnerWidth, p.countThread)
+	g := NewGang(p.ex, fmt.Sprintf("%s-x%d", prog.Name(), j), p.cfg.InnerWidth, p.countThread)
 	defer g.Close(p.ex)
 
 	s2 := p.pool.Clone(trueFinal)
 	p.countState()
-	win := p.window(r.job.inputs)
+	win := p.chunkWindow(r.job.inputs)
 	snapAt := len(r.job.inputs) - len(win)
 	// The speculative outputs are dead on abort; reuse their slab.
-	outs, snapshot, final := core.ProcessChunk(p.ex, prog, p.pool, g, r.job.inputs,
+	outs, snapshot, final := ProcessChunk(p.ex, prog, p.pool, g, r.job.inputs,
 		snapAt, s2, myRng.Derive("reexec"), jit, trace.CatReexec, p.countState, r.outs)
-	origs := core.OriginalStates(p.ex, prog, p.pool, fmt.Sprintf("%s-r%d", prog.Name(), j),
+	p.emit(Event{Kind: EvReexec, Chunk: j, Worker: -1,
+		N: len(r.job.inputs), Start: t0, Dur: time.Since(t0)})
+	if snapshot != nil {
+		p.emit(Event{Kind: EvSnapshot, Chunk: j, Worker: -1})
+	}
+	tOrig := time.Now()
+	origs := OriginalStates(p.ex, prog, p.pool, fmt.Sprintf("%s-r%d", prog.Name(), j),
 		win, snapshot, final, p.cfg.ExtraStates, myRng.Derive("reorig"), p.countThread, p.countState)
+	p.emit(Event{Kind: EvOrigStates, Chunk: j, Worker: -1,
+		N: len(origs) - 1, M: len(win), Start: tOrig, Dur: time.Since(tOrig)})
 	p.pool.Release(snapshot)
 
-	p.met.Observe(StageReexec, time.Since(t0))
 	return outs, final, origs
 }

@@ -1,4 +1,4 @@
-package core
+package engine
 
 import "fmt"
 
@@ -28,16 +28,16 @@ type Config struct {
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if c.Chunks < 1 {
-		return fmt.Errorf("core: Chunks must be >= 1, got %d", c.Chunks)
+		return fmt.Errorf("engine: Chunks must be >= 1, got %d", c.Chunks)
 	}
 	if c.Lookback < 1 {
-		return fmt.Errorf("core: Lookback must be >= 1, got %d", c.Lookback)
+		return fmt.Errorf("engine: Lookback must be >= 1, got %d", c.Lookback)
 	}
 	if c.ExtraStates < 0 {
-		return fmt.Errorf("core: ExtraStates must be >= 0, got %d", c.ExtraStates)
+		return fmt.Errorf("engine: ExtraStates must be >= 0, got %d", c.ExtraStates)
 	}
 	if c.InnerWidth < 1 {
-		return fmt.Errorf("core: InnerWidth must be >= 1, got %d", c.InnerWidth)
+		return fmt.Errorf("engine: InnerWidth must be >= 1, got %d", c.InnerWidth)
 	}
 	return nil
 }
@@ -63,9 +63,11 @@ type Report struct {
 	StateBytes int64
 }
 
-// partition splits n items into k contiguous chunks whose sizes differ by
-// at most one; it returns [start, end) bounds.
-func partition(n, k int) [][2]int {
+// Partition splits n items into k contiguous chunks whose sizes differ by
+// at most one; it returns [start, end) bounds. Every scheduler derives its
+// chunk boundaries from it for bounded inputs, which is what makes batch,
+// simulated, and (boundary-matching) streaming executions byte-identical.
+func Partition(n, k int) [][2]int {
 	if k > n {
 		k = n
 	}

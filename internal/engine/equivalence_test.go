@@ -1,0 +1,135 @@
+package engine_test
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"gostats/internal/bench"
+	_ "gostats/internal/bench/all"
+	"gostats/internal/engine"
+	"gostats/internal/machine"
+	"gostats/internal/rng"
+)
+
+// probe aggregates a run's engine events and notes whether the final
+// chunk aborted — the one protocol point where the streaming scheduler
+// legitimately does more work than batch (a streaming chunk never knows
+// it is last, so it always snapshots and generates original states).
+type probe struct {
+	ctr         engine.Counters
+	lastChunk   int
+	lastAborted atomic.Bool
+}
+
+func (p *probe) Event(e engine.Event) {
+	p.ctr.Event(e)
+	if e.Kind == engine.EvAborted && e.Chunk == p.lastChunk {
+		p.lastAborted.Store(true)
+	}
+}
+
+// TestCrossExecutorEquivalence is the refactor's contract: all seven
+// benchmarks, run through the batch, streaming, and simulated-machine
+// schedulers with the same seed and chunk boundaries, commit byte-identical
+// output sequences and identical protocol-overhead totals from the one
+// canonical event stream. The only tolerated difference is the streaming
+// scheduler's last-chunk original-state work, which is subtracted
+// explicitly rather than waved through.
+func TestCrossExecutorEquivalence(t *testing.T) {
+	names := bench.Names()
+	if len(names) != 7 {
+		t.Fatalf("expected 7 registered benchmarks, have %d: %v", len(names), names)
+	}
+	const (
+		nInputs = 72
+		seed    = 5
+	)
+	cfg := engine.Config{Chunks: 6, Lookback: 4, ExtraStates: 1, InnerWidth: 1, Seed: seed}
+
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			b, err := bench.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inputs := b.Inputs(rng.New(1))
+			if len(inputs) > nInputs {
+				inputs = inputs[:nInputs]
+			}
+			bounds := engine.Partition(len(inputs), cfg.Chunks)
+			last := bounds[len(bounds)-1]
+			lastSize := last[1] - last[0]
+			lastWin := cfg.Lookback
+			if lastWin > lastSize {
+				lastWin = lastSize
+			}
+
+			var batchCtr, simCtr engine.Counters
+			streamPr := &probe{lastChunk: len(bounds) - 1}
+
+			batch := &engine.BatchScheduler{Sink: &batchCtr}
+			stream := &engine.StreamScheduler{Workers: 3, Sink: streamPr}
+			sim := &engine.SimScheduler{Config: machine.DefaultConfig(8), Sink: &simCtr}
+
+			repBatch, err := batch.RunSlice(b, inputs, cfg)
+			if err != nil {
+				t.Fatalf("batch: %v", err)
+			}
+			repStream, err := stream.RunSlice(b, inputs, cfg)
+			if err != nil {
+				t.Fatalf("stream: %v", err)
+			}
+			repSim, err := sim.RunSlice(b, inputs, cfg)
+			if err != nil {
+				t.Fatalf("sim: %v", err)
+			}
+
+			for _, other := range []struct {
+				name string
+				rep  *engine.Report
+			}{{"stream", repStream}, {"sim", repSim}} {
+				if len(other.rep.Outputs) != len(repBatch.Outputs) {
+					t.Fatalf("%s emitted %d outputs, batch %d",
+						other.name, len(other.rep.Outputs), len(repBatch.Outputs))
+				}
+				for i := range repBatch.Outputs {
+					if !reflect.DeepEqual(other.rep.Outputs[i], repBatch.Outputs[i]) {
+						t.Fatalf("output %d differs:\n %s: %#v\n batch:  %#v",
+							i, other.name, other.rep.Outputs[i], repBatch.Outputs[i])
+					}
+				}
+				if other.rep.Commits != repBatch.Commits || other.rep.Aborts != repBatch.Aborts {
+					t.Fatalf("%s commits/aborts %d/%d, batch %d/%d", other.name,
+						other.rep.Commits, other.rep.Aborts, repBatch.Commits, repBatch.Aborts)
+				}
+			}
+
+			// The simulated scheduler runs the same batch protocol body, so
+			// its event totals are identical, full stop.
+			bSnap, sSnap := batchCtr.Snapshot(), simCtr.Snapshot()
+			if bSnap != sSnap {
+				t.Fatalf("batch and sim counter snapshots differ:\nbatch: %+v\nsim:   %+v", bSnap, sSnap)
+			}
+
+			// The streaming scheduler's totals match after subtracting the
+			// last chunk's always-generated original states and snapshot
+			// (doubled when the last chunk aborted and was re-executed).
+			extraRuns := int64(1)
+			if streamPr.lastAborted.Load() {
+				extraRuns = 2
+			}
+			adj := streamPr.ctr.Snapshot()
+			adj.Snapshots -= extraRuns
+			adj.OrigReplicas -= extraRuns * int64(cfg.ExtraStates)
+			adj.OrigUpdates -= extraRuns * int64(cfg.ExtraStates) * int64(lastWin)
+			if adj != bSnap {
+				t.Fatalf("stream counter snapshot (last-chunk adjusted) differs from batch:\nstream: %+v\nbatch:  %+v", adj, bSnap)
+			}
+			if adj.Overheads() != bSnap.Overheads() {
+				t.Fatalf("overhead totals differ:\nstream: %+v\nbatch:  %+v",
+					adj.Overheads(), bSnap.Overheads())
+			}
+		})
+	}
+}

@@ -1,0 +1,270 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// The engine emits one canonical event stream describing every protocol
+// action a scheduler performs. All consumers — the binned stage metrics
+// behind statsserved /metrics (Metrics), the cross-scheduler overhead
+// totals (Counters), and the trace synthesis for critical-path analysis
+// of native streaming sessions (Recorder) — read this stream; no
+// scheduler keeps private aggregation.
+//
+// Events are small value structs delivered synchronously on the emitting
+// goroutine; sinks must be goroutine-safe and fast (the reference sinks
+// use only atomic adds on the hot path). Wall-clock fields (Start, Dur)
+// are populated only by the native schedulers and only when a sink is
+// attached; on the simulated substrate timing lives in the machine trace
+// instead.
+
+// Kind identifies a protocol event.
+type Kind uint8
+
+const (
+	// EvSessionStart and EvSessionEnd bracket one scheduler run (a batch
+	// Run call or a streaming session).
+	EvSessionStart Kind = iota
+	EvSessionEnd
+	// EvIngest records N inputs accepted into the protocol.
+	EvIngest
+	// EvIngestWait records time a producer spent blocked on backpressure.
+	EvIngestWait
+	// EvChunk records chunk Chunk entering execution with N inputs.
+	EvChunk
+	// EvResize records the adaptive controller changing the chunk size
+	// to N.
+	EvResize
+	// EvAltProduced records an alternative producer replaying N lookback
+	// inputs from a cold state (§III-B "Generating speculative states").
+	EvAltProduced
+	// EvSpecPublished records the speculative start state being cloned
+	// and published for the predecessor's validation (one state copy).
+	EvSpecPublished
+	// EvBody records a chunk body processing N inputs speculatively.
+	EvBody
+	// EvSnapshot records the pre-boundary state snapshot (one state copy).
+	EvSnapshot
+	// EvOrigStates records generation of N replica original states, each
+	// replaying M window inputs (§III-B "Multiple original states").
+	EvOrigStates
+	// EvSpeculated records the whole worker-side phase for a chunk:
+	// alternative production, body, original states. Its Dur is what the
+	// "speculate" stage histogram bins.
+	EvSpeculated
+	// EvValidated records a boundary validation: N state comparisons
+	// charged, Matched reporting whether the speculation survived.
+	EvValidated
+	// EvCommitted and EvAborted record the chunk's commit decision.
+	EvCommitted
+	EvAborted
+	// EvReexec records mispeculation recovery: the chunk re-ran N inputs
+	// from the true predecessor state (one recovery state copy implied).
+	EvReexec
+	// EvOutputs records N committed outputs emitted in input order.
+	EvOutputs
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	EvSessionStart:  "session-start",
+	EvSessionEnd:    "session-end",
+	EvIngest:        "ingest",
+	EvIngestWait:    "ingest-wait",
+	EvChunk:         "chunk",
+	EvResize:        "resize",
+	EvAltProduced:   "alt-produced",
+	EvSpecPublished: "spec-published",
+	EvBody:          "body",
+	EvSnapshot:      "snapshot",
+	EvOrigStates:    "orig-states",
+	EvSpeculated:    "speculated",
+	EvValidated:     "validated",
+	EvCommitted:     "committed",
+	EvAborted:       "aborted",
+	EvReexec:        "reexec",
+	EvOutputs:       "outputs",
+}
+
+// String returns the kind's event-stream name.
+func (k Kind) String() string {
+	if k >= numKinds {
+		return "unknown"
+	}
+	return kindNames[k]
+}
+
+// Event is one protocol action. Which fields are meaningful depends on
+// Kind (see the Kind constants).
+type Event struct {
+	Kind Kind
+	// Chunk is the protocol chunk index, or -1 for session-scoped events.
+	Chunk int
+	// Worker is the executing worker slot for worker-side events (the
+	// streaming pool index, or the chunk index for the batch scheduler);
+	// -1 for frontier/session events.
+	Worker int
+	// N and M are kind-specific counts.
+	N, M int
+	// Matched is EvValidated's verdict.
+	Matched bool
+	// Start and Dur delimit the phase in wall-clock time; zero on the
+	// simulated substrate or when timing was not collected.
+	Start time.Time
+	Dur   time.Duration
+}
+
+// Sink consumes the engine's event stream. Implementations must be safe
+// for concurrent use: schedulers emit from every worker goroutine.
+type Sink interface {
+	Event(Event)
+}
+
+// multiSink fans one event stream out to several sinks.
+type multiSink []Sink
+
+func (m multiSink) Event(e Event) {
+	for _, s := range m {
+		s.Event(e)
+	}
+}
+
+// combineSinks returns a sink delivering to every non-nil argument, nil
+// if none remain.
+func combineSinks(sinks ...Sink) Sink {
+	var ms multiSink
+	for _, s := range sinks {
+		if s != nil {
+			ms = append(ms, s)
+		}
+	}
+	switch len(ms) {
+	case 0:
+		return nil
+	case 1:
+		return ms[0]
+	}
+	return ms
+}
+
+// Counters aggregates the event stream into protocol-activity totals.
+// Because every scheduler emits the same events for the same protocol
+// decisions, two runs with identical seeds and chunk boundaries produce
+// identical snapshots regardless of scheduler — the cross-executor
+// equivalence test relies on this. All methods are goroutine-safe.
+type Counters struct {
+	sessions, ingested, emitted         atomic.Int64
+	chunks, resizes                     atomic.Int64
+	commits, aborts                     atomic.Int64
+	altUpdates, bodyUpdates             atomic.Int64
+	origReplicas, origUpdates           atomic.Int64
+	specCopies, snapshots               atomic.Int64
+	compares, reexecRuns, reexecUpdates atomic.Int64
+}
+
+// Event implements Sink.
+func (c *Counters) Event(e Event) {
+	switch e.Kind {
+	case EvSessionStart:
+		c.sessions.Add(1)
+	case EvIngest:
+		c.ingested.Add(int64(e.N))
+	case EvChunk:
+		c.chunks.Add(1)
+	case EvResize:
+		c.resizes.Add(int64(e.M))
+	case EvAltProduced:
+		c.altUpdates.Add(int64(e.N))
+	case EvSpecPublished:
+		c.specCopies.Add(1)
+	case EvBody:
+		c.bodyUpdates.Add(int64(e.N))
+	case EvSnapshot:
+		c.snapshots.Add(1)
+	case EvOrigStates:
+		c.origReplicas.Add(int64(e.N))
+		c.origUpdates.Add(int64(e.N * e.M))
+	case EvValidated:
+		c.compares.Add(int64(e.N))
+	case EvCommitted:
+		c.commits.Add(1)
+	case EvAborted:
+		c.aborts.Add(1)
+	case EvReexec:
+		c.reexecRuns.Add(1)
+		c.reexecUpdates.Add(int64(e.N))
+	case EvOutputs:
+		c.emitted.Add(int64(e.N))
+	}
+}
+
+// CounterSnapshot is a point-in-time copy of Counters, comparable with ==.
+type CounterSnapshot struct {
+	Sessions int64 // scheduler runs observed
+	Ingested int64 // inputs accepted
+	Emitted  int64 // committed outputs emitted
+	Chunks   int64 // chunks executed
+	Resizes  int64 // adaptive chunk-size changes
+	Commits  int64 // speculations committed
+	Aborts   int64 // speculations aborted
+
+	AltUpdates    int64 // inputs replayed by alternative producers
+	BodyUpdates   int64 // inputs processed by speculative chunk bodies
+	OrigReplicas  int64 // replica original states generated
+	OrigUpdates   int64 // inputs replayed by original-state replicas
+	SpecCopies    int64 // speculative start states published (state copies)
+	Snapshots     int64 // pre-boundary snapshots taken (state copies)
+	Compares      int64 // state comparisons charged
+	ReexecRuns    int64 // mispeculation recoveries (each one recovery copy)
+	ReexecUpdates int64 // inputs re-executed during recovery
+}
+
+// Snapshot returns the totals at this instant.
+func (c *Counters) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		Sessions:      c.sessions.Load(),
+		Ingested:      c.ingested.Load(),
+		Emitted:       c.emitted.Load(),
+		Chunks:        c.chunks.Load(),
+		Resizes:       c.resizes.Load(),
+		Commits:       c.commits.Load(),
+		Aborts:        c.aborts.Load(),
+		AltUpdates:    c.altUpdates.Load(),
+		BodyUpdates:   c.bodyUpdates.Load(),
+		OrigReplicas:  c.origReplicas.Load(),
+		OrigUpdates:   c.origUpdates.Load(),
+		SpecCopies:    c.specCopies.Load(),
+		Snapshots:     c.snapshots.Load(),
+		Compares:      c.compares.Load(),
+		ReexecRuns:    c.reexecRuns.Load(),
+		ReexecUpdates: c.reexecUpdates.Load(),
+	}
+}
+
+// OverheadTotals maps the protocol-activity totals onto the paper's six
+// loss categories (§III), in units of protocol work counts (updates,
+// copies, comparisons) rather than cycles. Synchronization, imbalance and
+// unreachable parallelism are timing phenomena, not countable protocol
+// actions, so their entries are zero here; critpath.Decompose measures
+// them from a trace (simulated, or synthesized by Recorder for a native
+// streaming session). The countable categories are what the equivalence
+// test asserts identical across schedulers.
+type OverheadTotals struct {
+	ExtraComputation int64 // §III-B: alt producers + replica replays + comparisons
+	StateCopies      int64 // §III-B: spec publishes + snapshots + recovery copies
+	Sync             int64 // §III-C: not countable, measured from traces
+	SeqCode          int64 // §III-D: not countable, measured from traces
+	Imbalance        int64 // §III-A: not countable, measured from traces
+	Mispeculation    int64 // §III-E: re-executed updates
+}
+
+// Overheads derives the countable six-category view of a snapshot.
+func (s CounterSnapshot) Overheads() OverheadTotals {
+	return OverheadTotals{
+		ExtraComputation: s.AltUpdates + s.OrigUpdates + s.Compares,
+		StateCopies:      s.SpecCopies + s.Snapshots + s.ReexecRuns,
+		Mispeculation:    s.ReexecUpdates,
+	}
+}

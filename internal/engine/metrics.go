@@ -1,4 +1,4 @@
-package stream
+package engine
 
 import (
 	"fmt"
@@ -17,8 +17,11 @@ import (
 // mean hides exactly the bimodality that distinguishes a healthy
 // speculative pipeline from one stalling on aborts).
 //
-// A Metrics value may be shared by any number of pipelines (statsserved
-// aggregates all sessions into one); all methods are goroutine-safe.
+// Metrics is a Sink: it renders the engine's canonical event stream, so
+// the same collector serves a streaming session, a batch run with a
+// BatchScheduler sink, or both at once. A Metrics value may be shared by
+// any number of pipelines (statsserved aggregates all sessions into one);
+// all methods are goroutine-safe.
 
 // Stage identifies an instrumented pipeline stage.
 type Stage int
@@ -89,26 +92,67 @@ type stageBins struct {
 	totalNs [numBins]atomic.Int64
 }
 
-// Metrics collects binned stage latencies and pipeline counters. The zero
-// value is NOT usable; call NewMetrics.
+// Metrics collects binned stage latencies and pipeline counters from the
+// engine event stream. The zero value is NOT usable; call NewMetrics.
 type Metrics struct {
 	stages [numStages]stageBins
 
-	// Counters, aggregated across every pipeline sharing this Metrics.
+	// Counters, aggregated across every scheduler run sharing this
+	// Metrics.
 	Inputs    atomic.Int64 // inputs ingested
 	Outputs   atomic.Int64 // outputs committed and emitted
 	Chunks    atomic.Int64 // chunks dispatched to workers
 	Commits   atomic.Int64 // chunks whose speculation committed
 	Aborts    atomic.Int64 // chunks that mispeculated and re-executed
 	Resizes   atomic.Int64 // online chunk-size changes
-	Sessions  atomic.Int64 // pipelines ever attached
-	Active    atomic.Int64 // pipelines currently running
+	Sessions  atomic.Int64 // scheduler runs ever attached
+	Active    atomic.Int64 // scheduler runs currently executing
 	InFlight  atomic.Int64 // chunks currently speculating
 	ChunkSize atomic.Int64 // most recent chunk size chosen
 }
 
 // NewMetrics returns an empty collector.
 func NewMetrics() *Metrics { return &Metrics{} }
+
+// Event implements Sink: it folds one engine event into the counters and
+// stage histograms. This is the only aggregation path — schedulers keep
+// no private metric state.
+func (m *Metrics) Event(e Event) {
+	switch e.Kind {
+	case EvSessionStart:
+		m.Sessions.Add(1)
+		m.Active.Add(1)
+		if e.N > 0 {
+			m.ChunkSize.Store(int64(e.N))
+		}
+	case EvSessionEnd:
+		m.Active.Add(-1)
+	case EvIngest:
+		m.Inputs.Add(int64(e.N))
+	case EvIngestWait:
+		m.Observe(StageIngestWait, e.Dur)
+	case EvChunk:
+		m.Chunks.Add(1)
+		m.InFlight.Add(1)
+	case EvResize:
+		m.Resizes.Add(int64(e.M))
+		m.ChunkSize.Store(int64(e.N))
+	case EvSpeculated:
+		m.Observe(StageSpeculate, e.Dur)
+	case EvValidated:
+		m.Observe(StageValidate, e.Dur)
+	case EvCommitted:
+		m.Commits.Add(1)
+	case EvAborted:
+		m.Aborts.Add(1)
+	case EvReexec:
+		m.Observe(StageReexec, e.Dur)
+	case EvOutputs:
+		m.Outputs.Add(int64(e.N))
+		m.Observe(StageCommit, e.Dur)
+		m.InFlight.Add(-1)
+	}
+}
 
 // Observe records one duration for a stage.
 func (m *Metrics) Observe(s Stage, d time.Duration) {

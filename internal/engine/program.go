@@ -1,23 +1,4 @@
-// Package core implements the STATS execution model (§II of the paper):
-// speculative parallelization of nondeterministic programs along state
-// dependences with the short-memory property.
-//
-// In the original system a language extension marks state dependences and
-// three compilers generate the parallel binary. In this reproduction the
-// language extension is the StateDependence interface a program
-// implements; the generated binary is the Run function, which enforces the
-// execution model of the paper's Fig. 2b: the input stream splits into
-// chunks, each chunk after the first starts from a speculative state
-// produced by an alternative producer that replays only the last k inputs
-// of the previous chunk, multiple original states are generated at every
-// chunk boundary, and the runtime commits or aborts each chunk in program
-// order by comparing its speculative start state against those original
-// states.
-//
-// The runtime runs either on the simulated machine (package machine, used
-// for every figure and table) or on real goroutines (NativeExec) through
-// the Exec abstraction.
-package core
+package engine
 
 import (
 	"gostats/internal/machine"

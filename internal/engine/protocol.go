@@ -1,4 +1,4 @@
-package core
+package engine
 
 import (
 	"fmt"
@@ -131,20 +131,28 @@ func OriginalStates(ex Exec, p Program, pool *StatePool, tag string, window []In
 // model says it costs — so traces, critical-path attribution, and the
 // returned result are identical with and without the digest fast path.
 func MatchAny(ex Exec, p Program, origs []State, spec State) bool {
+	ok, _ := matchAnyN(ex, p, origs, spec)
+	return ok
+}
+
+// matchAnyN is MatchAny plus the number of comparisons charged (original
+// states inspected before the first match, or all of them on a miss) —
+// the count the event stream reports per EvValidated.
+func matchAnyN(ex Exec, p Program, origs []State, spec State) (bool, int) {
 	ex.SetCat(trace.CatCompare)
 	fp, gated := p.(Fingerprinter)
 	var specFP uint64
 	if gated {
 		specFP = fp.Fingerprint(spec)
 	}
-	for _, o := range origs {
+	for i, o := range origs {
 		ex.Compute(p.CompareCost())
 		if gated && !DigestsMayMatch(fp.Fingerprint(o), specFP) {
 			continue
 		}
 		if p.Match(o, spec) {
-			return true
+			return true, i + 1
 		}
 	}
-	return false
+	return false, len(origs)
 }

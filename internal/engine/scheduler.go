@@ -1,0 +1,229 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"gostats/internal/machine"
+)
+
+// Scheduler runs the full STATS protocol — chunking, alternative
+// producers, multiple original states, digest-gated validation,
+// commit/abort with in-place re-execution, state recycling — over a
+// bounded input slice. The protocol itself lives in this package's
+// primitives; a Scheduler only decides how chunks are mapped onto
+// execution resources:
+//
+//   - BatchScheduler: one worker thread per chunk on any Exec.
+//   - StreamScheduler: a worker pool driven through the streaming
+//     pipeline, with bounded queues and slab recycling.
+//   - SimScheduler: the batch mapping on the cycle-accurate simulated
+//     machine.
+//
+// Every scheduler emits the same canonical event stream for the same
+// protocol decisions, and — for matching chunk boundaries and seed —
+// produces byte-identical committed outputs.
+type Scheduler interface {
+	// Name identifies the scheduler in reports and test output.
+	Name() string
+	// RunSlice executes the protocol over inputs and returns the ordered
+	// outputs plus resource statistics.
+	RunSlice(p Program, inputs []Input, cfg Config) (*Report, error)
+}
+
+// BatchScheduler runs the protocol with one worker thread per chunk, the
+// paper's original execution shape (§II-B, Fig. 5).
+type BatchScheduler struct {
+	// Exec is the execution substrate; nil uses a fresh NativeExec.
+	Exec Exec
+	// Sink, when non-nil, receives the run's engine events. Leaving it nil
+	// skips all event timing on the hot path.
+	Sink Sink
+}
+
+// Name implements Scheduler.
+func (s *BatchScheduler) Name() string { return "batch" }
+
+// RunSlice implements Scheduler.
+func (s *BatchScheduler) RunSlice(p Program, inputs []Input, cfg Config) (*Report, error) {
+	ex := s.Exec
+	if ex == nil {
+		ex = NewNativeExec()
+	}
+	return runBatch(ex, p, inputs, cfg, s.Sink)
+}
+
+// StreamScheduler runs the protocol by feeding the bounded slice through
+// the streaming pipeline: a fixed worker pool, bounded queues with
+// backpressure, ordered commit at the frontier, slab and state recycling.
+// It plans the pipeline's chunk sizes from Partition, so for the same
+// (seed, inputs, cfg) its committed outputs are byte-identical to
+// BatchScheduler's.
+type StreamScheduler struct {
+	// Ctx bounds the run; nil uses context.Background().
+	Ctx context.Context
+	// Workers is the worker-pool size; 0 uses the pipeline default (4).
+	Workers int
+	// Metrics optionally aggregates stage latencies across runs.
+	Metrics *Metrics
+	// Sink, when non-nil, receives the run's engine events alongside
+	// Metrics.
+	Sink Sink
+}
+
+// Name implements Scheduler.
+func (s *StreamScheduler) Name() string { return "stream" }
+
+// RunSlice implements Scheduler.
+func (s *StreamScheduler) RunSlice(p Program, inputs []Input, cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("engine: empty input stream")
+	}
+	bounds := Partition(len(inputs), cfg.Chunks)
+	plan := make([]int, len(bounds))
+	for i, b := range bounds {
+		plan[i] = b[1] - b[0]
+	}
+	scfg := StreamConfig{
+		ChunkSize:   plan[0], // Partition puts the largest chunks first
+		Lookback:    cfg.Lookback,
+		ExtraStates: cfg.ExtraStates,
+		InnerWidth:  cfg.InnerWidth,
+		Workers:     s.Workers,
+		Seed:        cfg.Seed,
+		Plan:        plan,
+		Metrics:     s.Metrics,
+		Sink:        s.Sink,
+	}
+	return runStream(s.Ctx, p, inputs, scfg)
+}
+
+// SimScheduler runs the batch chunk mapping on the cycle-accurate
+// simulated machine (package machine). It is not goroutine-safe: each
+// RunSlice builds a fresh machine, kept accessible through Cycles and
+// Accounting until the next run.
+type SimScheduler struct {
+	// Config is the simulated platform; zero-value Cores is rejected, use
+	// machine.DefaultConfig.
+	Config machine.Config
+	// Options attach a trace recorder or memory-system simulator.
+	Options []machine.Option
+	// Sink, when non-nil, receives the run's engine events. Event
+	// timestamps are wall-clock (host) times; cycle-exact attribution
+	// comes from the machine trace instead.
+	Sink Sink
+
+	m *machine.Machine
+}
+
+// Name implements Scheduler.
+func (s *SimScheduler) Name() string { return "sim" }
+
+// RunSlice implements Scheduler.
+func (s *SimScheduler) RunSlice(p Program, inputs []Input, cfg Config) (*Report, error) {
+	s.m = machine.New(s.Config, s.Options...)
+	var rep *Report
+	var runErr error
+	err := s.m.Run("main", func(th *machine.Thread) {
+		rep, runErr = runBatch(NewSimExec(th), p, inputs, cfg, s.Sink)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, runErr
+}
+
+// Cycles returns the simulated makespan of the last RunSlice.
+func (s *SimScheduler) Cycles() int64 {
+	if s.m == nil {
+		return 0
+	}
+	return s.m.Now()
+}
+
+// Accounting returns the per-category cycle accounting of the last
+// RunSlice.
+func (s *SimScheduler) Accounting() machine.Accounting {
+	if s.m == nil {
+		return machine.Accounting{}
+	}
+	return s.m.Accounting()
+}
+
+// Machine returns the simulated machine of the last RunSlice (nil before
+// the first).
+func (s *SimScheduler) Machine() *machine.Machine { return s.m }
+
+// RunAdaptive executes the protocol over a bounded slice through the
+// streaming pipeline with the online chunk-size controller enabled
+// (autotune.Online): cfg.Chunks only seeds the initial chunk size
+// (ceil(len/Chunks)); from there commit/abort feedback retunes it. This is
+// the batch path's "-autotune" mode — same inputs, same protocol, but the
+// chunking emerges online instead of being fixed up front.
+func RunAdaptive(ctx context.Context, p Program, inputs []Input, cfg Config, workers int, sink Sink) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("engine: empty input stream")
+	}
+	size := (len(inputs) + cfg.Chunks - 1) / cfg.Chunks
+	scfg := StreamConfig{
+		ChunkSize:   size,
+		Lookback:    cfg.Lookback,
+		ExtraStates: cfg.ExtraStates,
+		InnerWidth:  cfg.InnerWidth,
+		Workers:     workers,
+		Seed:        cfg.Seed,
+		Adapt:       true,
+		Sink:        sink,
+	}
+	return runStream(ctx, p, inputs, scfg)
+}
+
+// runStream drives one pipeline session over a bounded slice and folds
+// the result into a batch-shaped Report.
+func runStream(ctx context.Context, p Program, inputs []Input, scfg StreamConfig) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pl, err := NewStream(ctx, p, scfg)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]Output, 0, len(inputs))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for out := range pl.Outputs() {
+			outs = append(outs, out)
+		}
+	}()
+	var pushErr error
+	for _, in := range inputs {
+		if pushErr = pl.Push(ctx, in); pushErr != nil {
+			break
+		}
+	}
+	pl.Close()
+	<-done
+	stats, waitErr := pl.Wait()
+	if pushErr != nil {
+		return nil, pushErr
+	}
+	if waitErr != nil {
+		return nil, waitErr
+	}
+	return &Report{
+		Outputs:        outs,
+		Commits:        int(stats.Commits),
+		Aborts:         int(stats.Aborts),
+		Chunks:         int(stats.Chunks),
+		ThreadsCreated: int(stats.Threads),
+		StatesCreated:  int(stats.States),
+		StateBytes:     p.StateBytes(),
+	}, nil
+}

@@ -1,10 +1,6 @@
-package stream
+package engine
 
-import (
-	"sync"
-
-	"gostats/internal/core"
-)
+import "sync"
 
 // slabs recycles the pipeline's per-chunk slices — input chunks built by
 // the assembler and output buffers filled by workers — through the commit
@@ -16,14 +12,14 @@ import (
 // burst beyond the limit just falls back to the allocator.
 type slabs struct {
 	mu    sync.Mutex
-	ins   [][]core.Input
-	outs  [][]core.Output
+	ins   [][]Input
+	outs  [][]Output
 	limit int
 }
 
 // takeIn returns an empty input slab with capacity for a chunk of the
 // given size, recycled when possible.
-func (s *slabs) takeIn(size int) []core.Input {
+func (s *slabs) takeIn(size int) []Input {
 	s.mu.Lock()
 	if n := len(s.ins); n > 0 {
 		b := s.ins[n-1]
@@ -33,12 +29,12 @@ func (s *slabs) takeIn(size int) []core.Input {
 		return b[:0]
 	}
 	s.mu.Unlock()
-	return make([]core.Input, 0, size)
+	return make([]Input, 0, size)
 }
 
 // putIn retires a dead input slab. The caller must hold the only live
 // reference — no window or job may still alias it.
-func (s *slabs) putIn(b []core.Input) {
+func (s *slabs) putIn(b []Input) {
 	if cap(b) == 0 {
 		return
 	}
@@ -51,7 +47,7 @@ func (s *slabs) putIn(b []core.Input) {
 
 // takeOut returns an empty output slab with capacity for a chunk of the
 // given size, recycled when possible.
-func (s *slabs) takeOut(size int) []core.Output {
+func (s *slabs) takeOut(size int) []Output {
 	s.mu.Lock()
 	if n := len(s.outs); n > 0 {
 		b := s.outs[n-1]
@@ -61,11 +57,11 @@ func (s *slabs) takeOut(size int) []core.Output {
 		return b[:0]
 	}
 	s.mu.Unlock()
-	return make([]core.Output, 0, size)
+	return make([]Output, 0, size)
 }
 
 // putOut retires a flushed output slab.
-func (s *slabs) putOut(b []core.Output) {
+func (s *slabs) putOut(b []Output) {
 	if cap(b) == 0 {
 		return
 	}

@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"gostats/internal/trace"
+)
+
+// worker is one member of the speculative worker pool: it pulls assembled
+// chunks and executes them on NativeExec, out of commit order. slotID
+// identifies the pool slot for event attribution (Recorder maps it to a
+// trace thread).
+func (p *Pipeline) worker(slotID int) {
+	defer p.stages.Done()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case jb, open := <-p.jobs:
+			if !open {
+				return
+			}
+			res := p.speculate(jb, slotID)
+			select {
+			case <-p.ctx.Done():
+				return
+			case p.results <- res:
+			}
+		}
+	}
+}
+
+// speculate runs the worker-side protocol for one chunk, mirroring the
+// batch worker exactly — same primitives, same RNG derivations keyed by
+// the chunk index — so the committed output sequence depends only on
+// (seed, inputs, chunk boundaries), not on which pool worker ran it or
+// when:
+//
+//  1. the alternative producer replays the predecessor's lookback window
+//     from a cold state (chunk 0 instead starts from the initial state),
+//  2. the chunk body runs speculatively from that state, snapshotting
+//     window-length inputs before the end, and
+//  3. original states for the successor's validation are generated from
+//     the snapshot.
+//
+// Unlike the batch worker, a streaming chunk never knows it is last, so
+// original states are always generated; for a session's final chunk they
+// go unused.
+func (p *Pipeline) speculate(jb *job, slotID int) *result {
+	t0 := time.Now()
+	prog := p.prog
+	j := jb.index
+	myRng := p.workerRng(j)
+	jit := myRng.Derive("jitter")
+	g := NewGang(p.ex, fmt.Sprintf("%s-w%d", prog.Name(), j), p.cfg.InnerWidth, p.countThread)
+	defer g.Close(p.ex)
+
+	res := &result{job: jb}
+	var s State
+	if j == 0 {
+		s = jb.initial
+	} else {
+		tAlt := time.Now()
+		s = SpeculativeState(p.ex, prog, jb.prevWindow, myRng, p.countState)
+		p.emit(Event{Kind: EvAltProduced, Chunk: j, Worker: slotID,
+			N: len(jb.prevWindow), Start: tAlt, Dur: time.Since(tAlt)})
+		tPub := time.Now()
+		res.spec = p.pool.Clone(s)
+		p.countState()
+		p.emit(Event{Kind: EvSpecPublished, Chunk: j, Worker: slotID,
+			Start: tPub, Dur: time.Since(tPub)})
+	}
+
+	win := p.chunkWindow(jb.inputs)
+	snapAt := len(jb.inputs) - len(win)
+	var snapshot State
+	tBody := time.Now()
+	res.outs, snapshot, res.final = ProcessChunk(p.ex, prog, p.pool, g, jb.inputs,
+		snapAt, s, myRng.Derive("body"), jit, trace.CatChunkWork, p.countState,
+		p.slabs.takeOut(len(jb.inputs)))
+	p.emit(Event{Kind: EvBody, Chunk: j, Worker: slotID,
+		N: len(jb.inputs), Start: tBody, Dur: time.Since(tBody)})
+	if snapshot != nil {
+		p.emit(Event{Kind: EvSnapshot, Chunk: j, Worker: slotID})
+	}
+	tOrig := time.Now()
+	res.origs = OriginalStates(p.ex, prog, p.pool, fmt.Sprintf("%s-r%d", prog.Name(), j),
+		win, snapshot, res.final, p.cfg.ExtraStates, myRng, p.countThread, p.countState)
+	p.emit(Event{Kind: EvOrigStates, Chunk: j, Worker: slotID,
+		N: len(res.origs) - 1, M: len(win), Start: tOrig, Dur: time.Since(tOrig)})
+	// The replicas have replayed the window from the snapshot; retire it.
+	p.pool.Release(snapshot)
+
+	p.emit(Event{Kind: EvSpeculated, Chunk: j, Worker: slotID,
+		N: len(jb.inputs), Start: t0, Dur: time.Since(t0)})
+	return res
+}

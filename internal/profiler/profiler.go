@@ -14,6 +14,7 @@ import (
 
 	"gostats/internal/bench"
 	"gostats/internal/core"
+	"gostats/internal/engine"
 	"gostats/internal/machine"
 	"gostats/internal/memsim"
 	"gostats/internal/rng"
@@ -77,6 +78,10 @@ type Spec struct {
 	// MachineConfig overrides the default platform model (ablation
 	// studies); its Cores field is forced to Cores.
 	MachineConfig *machine.Config
+	// EventSink, when non-nil, receives the engine event stream of STATS
+	// runs (ModeSeqSTATS/ModeParSTATS), e.g. an engine.Counters for
+	// cross-executor overhead accounting. Ignored by the other modes.
+	EventSink engine.Sink
 }
 
 // Result is one run's measurements.
@@ -128,15 +133,16 @@ func Run(spec Spec) (*Result, error) {
 		}
 		opts = append(opts, machine.WithMemory(mem))
 	}
-	m := machine.New(mcfg, opts...)
-
 	var runErr error
-	err := m.Run("main", func(th *machine.Thread) {
-		ex := core.NewSimExec(th)
-		switch spec.Mode {
-		case ModeSequential:
-			res.Report = core.RunSequential(ex, spec.Bench, inputs, spec.Seed)
-		case ModeOriginal:
+	switch spec.Mode {
+	case ModeSequential, ModeOriginal:
+		m := machine.New(mcfg, opts...)
+		err := m.Run("main", func(th *machine.Thread) {
+			ex := core.NewSimExec(th)
+			if spec.Mode == ModeSequential {
+				res.Report = core.RunSequential(ex, spec.Bench, inputs, spec.Seed)
+				return
+			}
 			width := spec.Width
 			if width <= 0 {
 				width = spec.Bench.MaxInnerWidth()
@@ -145,25 +151,31 @@ func Run(spec Spec) (*Result, error) {
 				width = spec.Cores
 			}
 			res.Report = core.RunOriginal(ex, spec.Bench, inputs, width, spec.Seed)
-		case ModeSeqSTATS, ModeParSTATS:
-			cfg := spec.Cfg
-			cfg.Seed = spec.Seed
-			if spec.Mode == ModeSeqSTATS {
-				cfg.InnerWidth = 1
-			}
-			res.Report, runErr = core.Run(ex, spec.Bench, inputs, cfg)
-		default:
-			runErr = fmt.Errorf("profiler: unknown mode %v", spec.Mode)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("profiler: %s/%s: %w", spec.Bench.Name(), spec.Mode, err)
 		}
-	})
-	if err != nil {
-		return nil, fmt.Errorf("profiler: %s/%s: %w", spec.Bench.Name(), spec.Mode, err)
+		res.Cycles = m.Now()
+		res.Acct = m.Accounting()
+	case ModeSeqSTATS, ModeParSTATS:
+		// STATS modes route through the engine's simulated-machine
+		// scheduler: the same protocol body as the batch and streaming
+		// schedulers, mapped onto machine threads.
+		cfg := spec.Cfg
+		cfg.Seed = spec.Seed
+		if spec.Mode == ModeSeqSTATS {
+			cfg.InnerWidth = 1
+		}
+		sim := &engine.SimScheduler{Config: mcfg, Options: opts, Sink: spec.EventSink}
+		res.Report, runErr = sim.RunSlice(spec.Bench, inputs, cfg)
+		if runErr != nil {
+			return nil, fmt.Errorf("profiler: %s/%s: %w", spec.Bench.Name(), spec.Mode, runErr)
+		}
+		res.Cycles = sim.Cycles()
+		res.Acct = sim.Accounting()
+	default:
+		return nil, fmt.Errorf("profiler: unknown mode %v", spec.Mode)
 	}
-	if runErr != nil {
-		return nil, fmt.Errorf("profiler: %s/%s: %w", spec.Bench.Name(), spec.Mode, runErr)
-	}
-	res.Cycles = m.Now()
-	res.Acct = m.Accounting()
 	if mem != nil {
 		res.Mem = mem.Totals()
 	}

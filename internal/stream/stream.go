@@ -1,367 +1,51 @@
-// Package stream runs the STATS speculation protocol over an unbounded
-// input stream instead of a fixed slice.
+// Package stream is the historical home of the streaming STATS pipeline
+// and now a façade over package engine, which owns the protocol and its
+// streaming scheduler. Every type here is an alias of the engine type, so
+// existing callers — statsserved, statsbench, the determinism tests —
+// keep compiling unchanged while the pipeline itself shares one protocol
+// implementation with the batch and simulated schedulers.
 //
-// The batch runtime (core.Run) partitions a complete input slice into
-// chunks and spawns one worker per chunk. The workloads the paper
-// parallelizes — video frames, point blocks, sample batches — are really
-// streams, so this package rebuilds the protocol as a pipeline:
-//
-//		Push → [ingest queue] → assembler → [jobs] → worker pool → [results]
-//		                ▲                                              │
-//		                └───── outcome window (backpressure) ──────────┤
-//		                                                               ▼
-//		                               ordered commit / abort+re-exec → Outputs
-//
-//	  - The assembler groups inputs into chunks (fixed size, or retuned
-//	    online from commit/abort feedback via autotune.Online) and carries
-//	    the previous chunk's lookback window with each job.
-//	  - Workers execute the chunk speculatively on core.NativeExec: the
-//	    alternative producer replays the predecessor's window from a cold
-//	    state (core.SpeculativeState), the chunk body runs from that state
-//	    (core.ProcessChunk), and original states are generated for the
-//	    successor's validation (core.OriginalStates).
-//	  - The commit stage reorders worker results into input order, validates
-//	    each chunk's speculative start state against the committed
-//	    predecessor's original states (core.MatchAny), and on mispeculation
-//	    re-executes the chunk in place from the true predecessor state —
-//	    exactly the §II-B protocol, so outputs are committed in input order
-//	    with batch-identical semantics.
-//
-// Backpressure: the assembler may run at most Workers chunks ahead of the
-// commit frontier; when the window is full, chunk assembly stalls, the
-// ingest queue fills, and Push blocks. Chunk-size decisions read only
-// outcomes behind the frontier, which makes them — and therefore the whole
-// committed output sequence — a pure function of (seed, input sequence),
-// independent of goroutine scheduling. Same seed, same inputs:
-// byte-identical committed outputs, even under -race.
-//
-// Lifecycle: Close ends the input stream and drains the pipeline; cancel
-// the context to abandon it. Wait blocks until every pipeline goroutine
-// has exited, so no run can leak.
+// New code should use package engine directly: NewStream for unbounded
+// sessions, StreamScheduler for bounded slices, and the engine event
+// stream (engine.Sink) for metrics and overhead attribution.
 package stream
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"sync"
-	"sync/atomic"
-	"time"
 
-	"gostats/internal/autotune"
-	"gostats/internal/core"
-	"gostats/internal/rng"
+	"gostats/internal/engine"
 )
 
-// Config parameterizes a pipeline.
-type Config struct {
-	// ChunkSize is the number of inputs per chunk (the initial size when
-	// Adapt is enabled).
-	ChunkSize int
-	// Lookback is k, the alternative-producer replay length (§II-B).
-	Lookback int
-	// ExtraStates is the number of additional original states generated at
-	// each chunk boundary.
-	ExtraStates int
-	// InnerWidth is the gang width for the program's original TLP inside
-	// each update; 1 (the default 0 maps to 1) uses only STATS TLP.
-	InnerWidth int
-	// Workers is the worker-pool size and the speculation window: at most
-	// Workers chunks are in flight past the commit frontier. Default 4.
-	Workers int
-	// QueueDepth bounds the ingest queue (and output buffer). Default
-	// 2*ChunkSize.
-	QueueDepth int
-	// Seed selects one nondeterministic execution, exactly as in
-	// core.Config.
-	Seed uint64
-	// Adapt enables online chunk-size retuning from commit/abort feedback.
-	Adapt bool
-	// MinChunk and MaxChunk bound adaptive sizing (defaults: max(1,
-	// ChunkSize/4) and 4*ChunkSize).
-	MinChunk, MaxChunk int
-	// Metrics receives binned stage latencies and counters. Multiple
-	// pipelines may share one collector; nil allocates a private one.
-	Metrics *Metrics
-}
+type (
+	// Config parameterizes a streaming pipeline.
+	Config = engine.StreamConfig
+	// Stats summarizes one pipeline run.
+	Stats = engine.StreamStats
+	// Pipeline is a running streaming STATS execution.
+	Pipeline = engine.Pipeline
+	// Metrics collects binned stage latencies and pipeline counters from
+	// the engine event stream.
+	Metrics = engine.Metrics
+	// Stage identifies an instrumented pipeline stage.
+	Stage = engine.Stage
+)
 
-func (c Config) withDefaults() Config {
-	if c.InnerWidth == 0 {
-		c.InnerWidth = 1
-	}
-	if c.Workers == 0 {
-		c.Workers = 4
-	}
-	if c.QueueDepth == 0 {
-		c.QueueDepth = 2 * c.ChunkSize
-	}
-	if c.MinChunk == 0 {
-		c.MinChunk = max(1, c.ChunkSize/4)
-	}
-	if c.MaxChunk == 0 {
-		c.MaxChunk = 4 * c.ChunkSize
-	}
-	if c.Metrics == nil {
-		c.Metrics = NewMetrics()
-	}
-	return c
-}
-
-// Validate reports configuration errors.
-func (c Config) Validate() error {
-	if c.ChunkSize < 1 {
-		return fmt.Errorf("stream: ChunkSize must be >= 1, got %d", c.ChunkSize)
-	}
-	if c.Lookback < 1 {
-		return fmt.Errorf("stream: Lookback must be >= 1, got %d", c.Lookback)
-	}
-	if c.ExtraStates < 0 {
-		return fmt.Errorf("stream: ExtraStates must be >= 0, got %d", c.ExtraStates)
-	}
-	if c.InnerWidth < 0 || c.Workers < 0 || c.QueueDepth < 0 {
-		return fmt.Errorf("stream: negative InnerWidth/Workers/QueueDepth")
-	}
-	if c.MinChunk < 0 || (c.MaxChunk > 0 && c.MaxChunk < c.MinChunk) {
-		return fmt.Errorf("stream: bad adaptive bounds [%d,%d]", c.MinChunk, c.MaxChunk)
-	}
-	return nil
-}
-
-// Stats summarizes one pipeline run.
-type Stats struct {
-	Inputs  int64 // inputs ingested
-	Outputs int64 // outputs committed
-	Chunks  int64 // chunks dispatched
-	Commits int64 // speculations committed
-	Aborts  int64 // speculations aborted and re-executed
-	Resizes int64 // online chunk-size changes
-	States  int64 // computational states materialized
-	Reused  int64 // state clones served from retired buffers (core.StatePool)
-	Threads int64 // goroutine contexts spawned by the protocol
-}
+// Pipeline stages, re-exported for metric consumers.
+const (
+	StageIngestWait = engine.StageIngestWait
+	StageSpeculate  = engine.StageSpeculate
+	StageValidate   = engine.StageValidate
+	StageCommit     = engine.StageCommit
+	StageReexec     = engine.StageReexec
+)
 
 // ErrClosed is returned by Push after Close.
-var ErrClosed = errors.New("stream: pipeline closed")
+var ErrClosed = engine.ErrClosed
 
-// job is one assembled chunk handed to the worker pool.
-type job struct {
-	index      int          // session-monotonic chunk index
-	inputs     []core.Input // the chunk's inputs
-	prevWindow []core.Input // last k inputs of the previous chunk; nil for chunk 0
-	initial    core.State   // chunk 0 only: the program's initial state
+// New starts a pipeline for prog; see engine.NewStream.
+func New(ctx context.Context, prog engine.Program, cfg Config) (*Pipeline, error) {
+	return engine.NewStream(ctx, prog, cfg)
 }
 
-// result is a worker's speculative execution of one chunk. The snapshot
-// the worker took is not carried: it is consumed by original-state
-// generation and retired worker-side.
-type result struct {
-	job   *job
-	spec  core.State // speculative start state (clone), nil for chunk 0
-	outs  []core.Output
-	final core.State
-	origs []core.State
-}
-
-// Pipeline is a running streaming STATS execution. Create with New, feed
-// with Push, finish with Close, consume Outputs until closed, then Wait.
-type Pipeline struct {
-	cfg  Config
-	prog core.Program
-	ex   core.Exec
-	root *rng.Stream
-	ctx  context.Context
-
-	in       chan core.Input
-	jobs     chan *job
-	results  chan *result
-	outcomes chan bool
-	out      chan core.Output
-
-	ctl    *autotune.Online
-	met    *Metrics
-	pool   *core.StatePool
-	slabs  slabs
-	closed atomic.Bool
-	stages sync.WaitGroup // the pipeline's stage goroutines
-	all    sync.WaitGroup // stages + the teardown janitor
-
-	inputs  atomic.Int64
-	outputs atomic.Int64
-	chunks  atomic.Int64
-	commits atomic.Int64
-	aborts  atomic.Int64
-	resizes atomic.Int64 // mirror of ctl.Resizes (ctl is assembler-owned)
-	states  atomic.Int64
-	threads atomic.Int64
-}
-
-// New starts a pipeline for prog. The context governs the whole run:
-// cancel it to abandon the stream (Push fails, stages exit, Outputs
-// closes). All protocol execution happens on core.NativeExec.
-func New(ctx context.Context, prog core.Program, cfg Config) (*Pipeline, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	cfg = cfg.withDefaults()
-
-	var ctl *autotune.Online
-	if cfg.Adapt {
-		var err error
-		ctl, err = autotune.NewOnline(autotune.OnlineConfig{
-			Initial: cfg.ChunkSize,
-			Min:     cfg.MinChunk,
-			Max:     cfg.MaxChunk,
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	p := &Pipeline{
-		cfg:  cfg,
-		prog: prog,
-		ex:   core.NewNativeExec(),
-		root: rng.New(cfg.Seed).Derive("stats:" + prog.Name()),
-		ctx:  ctx,
-		in:   make(chan core.Input, cfg.QueueDepth),
-		jobs: make(chan *job),
-		// results holds one slot per in-flight chunk so workers never
-		// block behind the commit stage's reorder buffer.
-		results: make(chan *result, cfg.Workers+1),
-		// outcomes is the speculation window: the assembler consumes
-		// exactly max(0, j-Workers) outcomes before sizing chunk j, which
-		// both bounds chunks in flight and keeps sizing deterministic.
-		// Capacity Workers+2 exceeds the maximum unconsumed backlog, so
-		// the commit stage never blocks here.
-		outcomes: make(chan bool, cfg.Workers+2),
-		out:      make(chan core.Output, cfg.QueueDepth),
-		ctl:      ctl,
-		met:      cfg.Metrics,
-		pool:     core.NewStatePool(prog),
-	}
-	p.slabs.limit = 2*cfg.Workers + 4
-	p.met.Sessions.Add(1)
-	p.met.Active.Add(1)
-	p.met.ChunkSize.Store(int64(cfg.ChunkSize))
-
-	p.stages.Add(1)
-	go p.assemble()
-
-	var workers sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		p.stages.Add(1)
-		workers.Add(1)
-		go func() {
-			defer workers.Done()
-			p.worker()
-		}()
-	}
-	p.stages.Add(1)
-	go func() {
-		defer p.stages.Done()
-		workers.Wait()
-		close(p.results)
-	}()
-
-	p.stages.Add(1)
-	go p.commit()
-
-	// Janitor: once every stage has exited, reconcile the shared gauges.
-	// An abandoned run drops its in-flight chunks without committing
-	// them; without this, each abandoned session would leave the shared
-	// collector's in-flight gauge drifted upward for good.
-	p.all.Add(1)
-	go func() {
-		defer p.all.Done()
-		p.stages.Wait()
-		if dropped := p.chunks.Load() - p.commits.Load() - p.aborts.Load(); dropped > 0 {
-			p.met.InFlight.Add(-dropped)
-		}
-	}()
-	return p, nil
-}
-
-// Push ingests one input, blocking while the pipeline exerts backpressure
-// (ingest queue full because the speculation window is full). ctx bounds
-// this one call; the pipeline's own context also aborts it. Push and
-// Close form the producer side of the pipeline and must not be called
-// concurrently with each other.
-func (p *Pipeline) Push(ctx context.Context, in core.Input) error {
-	if p.closed.Load() {
-		return ErrClosed
-	}
-	select {
-	case p.in <- in: // fast path: queue has room
-		p.inputs.Add(1)
-		p.met.Inputs.Add(1)
-		return nil
-	default:
-	}
-	t0 := time.Now()
-	select {
-	case p.in <- in:
-		p.met.Observe(StageIngestWait, time.Since(t0))
-		p.inputs.Add(1)
-		p.met.Inputs.Add(1)
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-p.ctx.Done():
-		return p.ctx.Err()
-	}
-}
-
-// Close ends the input stream: the final partial chunk is flushed and the
-// pipeline drains. Push returns ErrClosed afterwards. Close is
-// idempotent.
-func (p *Pipeline) Close() {
-	if p.closed.CompareAndSwap(false, true) {
-		close(p.in)
-	}
-}
-
-// Outputs returns the committed outputs in input order. The channel
-// closes when the stream has fully drained (after Close) or the context
-// is canceled.
-func (p *Pipeline) Outputs() <-chan core.Output { return p.out }
-
-// Wait blocks until every pipeline goroutine has exited and returns the
-// run's statistics, plus the context's error if the run was abandoned
-// rather than drained.
-func (p *Pipeline) Wait() (Stats, error) {
-	p.all.Wait()
-	return p.StatsSnapshot(), p.ctx.Err()
-}
-
-// StatsSnapshot returns the pipeline's counters at this instant; it may
-// be called while the pipeline runs.
-func (p *Pipeline) StatsSnapshot() Stats {
-	return Stats{
-		Inputs:  p.inputs.Load(),
-		Outputs: p.outputs.Load(),
-		Chunks:  p.chunks.Load(),
-		Commits: p.commits.Load(),
-		Aborts:  p.aborts.Load(),
-		Resizes: p.resizes.Load(),
-		States:  p.states.Load(),
-		Reused:  p.pool.Stats().Reused,
-		Threads: p.threads.Load(),
-	}
-}
-
-func (p *Pipeline) countState()  { p.states.Add(1) }
-func (p *Pipeline) countThread() { p.threads.Add(1) }
-
-// workerRng returns chunk j's worker stream, mirroring the batch
-// runtime's derivation so a stream session and core.Run with matching
-// chunk boundaries produce identical outputs.
-func (p *Pipeline) workerRng(j int) *rng.Stream { return p.root.DeriveN("worker", j) }
-
-// window returns the last min(Lookback, len) elements of chunk.
-func (p *Pipeline) window(chunk []core.Input) []core.Input {
-	k := p.cfg.Lookback
-	if k > len(chunk) {
-		k = len(chunk)
-	}
-	return chunk[len(chunk)-k:]
-}
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics { return engine.NewMetrics() }
