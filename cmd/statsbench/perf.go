@@ -47,6 +47,14 @@ type perfRow struct {
 	CommitRate  float64 `json:"commit_rate"`
 	StatesReuse int64   `json:"states_reused,omitempty"`
 	Resizes     int64   `json:"resizes,omitempty"`
+	// Fault-tolerance counters from the engine event stream: faults
+	// isolated, attempts retried, chunks degraded to sequential
+	// re-execution. All zero on a healthy run — nonzero values in a perf
+	// report mean the measurement absorbed recoveries and its figures
+	// include recovery work.
+	Faults   int64 `json:"faults,omitempty"`
+	Retries  int64 `json:"retries,omitempty"`
+	Degraded int64 `json:"degraded,omitempty"`
 	// Overheads carries the engine event stream's countable overhead
 	// totals for rows measured with a Counters sink attached.
 	Overheads *engine.OverheadTotals `json:"overheads,omitempty"`
@@ -129,8 +137,13 @@ func runPerf(names []string, nInputs int, seed, inputSeed uint64, outPath string
 				return err
 			}
 			report.Rows[fmt.Sprintf("stream/%s/workers=%d", name, w)] = row
-			fmt.Printf("stream %-18s workers=%-2d %10.0f ns/op %10.0f B/op %8.1f allocs/op  commit %.2f\n",
-				name, w, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.CommitRate)
+			faultNote := ""
+			if row.Faults > 0 {
+				faultNote = fmt.Sprintf("  faults %d retries %d degraded %d",
+					row.Faults, row.Retries, row.Degraded)
+			}
+			fmt.Printf("stream %-18s workers=%-2d %10.0f ns/op %10.0f B/op %8.1f allocs/op  commit %.2f%s\n",
+				name, w, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.CommitRate, faultNote)
 		}
 
 		if autotune {
@@ -275,6 +288,9 @@ func counterRow(mode, name string, workers, inputs int, el time.Duration, malloc
 		CommitRate:  float64(snap.Commits) / float64(max(1, int(snap.Commits+snap.Aborts))),
 		StatesReuse: reused,
 		Resizes:     snap.Resizes,
+		Faults:      snap.Faults,
+		Retries:     snap.Retries,
+		Degraded:    snap.Degraded,
 		Overheads:   &ov,
 	}
 }

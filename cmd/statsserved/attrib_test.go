@@ -19,7 +19,7 @@ import (
 // cores (the pool plus the commit frontier).
 func TestSessionAttribution(t *testing.T) {
 	cfg := baseConfig()
-	ts := httptest.NewServer(newServer(cfg).handler())
+	ts := httptest.NewServer(newServer(cfg, limits{}).handler())
 	defer ts.Close()
 
 	const name = "facetrack"

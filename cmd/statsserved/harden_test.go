@@ -1,0 +1,344 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestOversizedBodyRejected: a request body beyond -max-body gets 413,
+// both when Content-Length announces it up front and when it only shows
+// up while streaming.
+func TestOversizedBodyRejected(t *testing.T) {
+	ts := httptest.NewServer(newServer(baseConfig(), limits{MaxBody: 1024}).handler())
+	defer ts.Close()
+
+	// Announced: Content-Length exceeds the cap, rejected before reading.
+	big := bytes.Repeat([]byte(" \n"), 2048)
+	resp, err := http.Post(ts.URL+"/v1/stream/facetrack", "application/x-ndjson", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("announced oversized body: status %d, want 413", resp.StatusCode)
+	}
+
+	// Unannounced: an io.Reader without a length streams until
+	// MaxBytesReader trips; blank lines produce no output, so the failure
+	// still arrives as a clean status.
+	resp, err = http.Post(ts.URL+"/v1/stream/facetrack", "application/x-ndjson",
+		struct{ io.Reader }{bytes.NewReader(big)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("streamed oversized body: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestOversizedLineRejected: one NDJSON line beyond -max-line is a 400
+// naming the limit — the scanner's buffer never grows past the cap.
+func TestOversizedLineRejected(t *testing.T) {
+	ts := httptest.NewServer(newServer(baseConfig(), limits{MaxLine: 64}).handler())
+	defer ts.Close()
+
+	body := strings.Repeat("x", 65) + "\n"
+	resp, err := http.Post(ts.URL+"/v1/stream/facetrack", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized line: status %d, want 400 (%s)", resp.StatusCode, b)
+	}
+	if !strings.Contains(string(b), "length limit") {
+		t.Fatalf("oversized line: body %q does not name the limit", b)
+	}
+}
+
+// TestSessionCapShedsWith429: with -max-sessions 1 a second concurrent
+// session is shed with 429 and a Retry-After hint, the shed shows up in
+// /metrics, and the slot frees once the first session ends.
+func TestSessionCapShedsWith429(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ts := httptest.NewServer(newServer(baseConfig(), limits{MaxSessions: 1}).handler())
+	client := &http.Client{}
+
+	// Session 1: feed a full chunk so output proves the handler is live,
+	// then hold the body open to pin the session slot.
+	inputs := sessionInputs(t, "facetrack", 24)
+	body := ndjsonBody(t, "facetrack", inputs)
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/stream/facetrack", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go pw.Write(body)
+	resp1, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp1.Body)
+	if !sc.Scan() {
+		t.Fatalf("no output from pinned session: %v", sc.Err())
+	}
+
+	// Session 2 hits the cap.
+	resp2, err := http.Post(ts.URL+"/v1/stream/facetrack", "application/x-ndjson",
+		bytes.NewReader(ndjsonBody(t, "facetrack", inputs[:8])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second session: status %d, want 429", resp2.StatusCode)
+	}
+	if resp2.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// Release session 1; its slot frees and a new session is admitted.
+	pw.Close()
+	io.Copy(io.Discard, resp1.Body)
+	resp1.Body.Close()
+
+	resp3, err := http.Post(ts.URL+"/v1/stream/facetrack", "application/x-ndjson",
+		bytes.NewReader(ndjsonBody(t, "facetrack", inputs[:8])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("session after slot freed: status %d, want 200", resp3.StatusCode)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mb), "serve/counter[sessions_shed]=1") {
+		t.Fatalf("/metrics does not count the shed session:\n%s", mb)
+	}
+
+	ts.Close()
+	client.CloseIdleConnections()
+	checkGoroutines(t, baseline)
+}
+
+// TestReadyzFlipsOnDrain: /readyz is the routability gate — ready until
+// startDrain, then 503, with new sessions refused while /healthz stays
+// green (a draining process is alive, just not routable).
+func TestReadyzFlipsOnDrain(t *testing.T) {
+	app := newServer(baseConfig(), limits{})
+	ts := httptest.NewServer(app.handler())
+	defer ts.Close()
+
+	status := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := status("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz before drain: %d", code)
+	}
+	app.startDrain()
+	if code := status("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain: %d, want 503", code)
+	}
+	if code := status("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz during drain: %d, want 200", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/stream/facetrack", "application/x-ndjson", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("session during drain: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestSessionTimeoutEndsSession: a session that outlives -session-timeout
+// is cut off with an error trailer (outputs already streamed stay valid)
+// and the server unwinds its goroutines.
+func TestSessionTimeoutEndsSession(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ts := httptest.NewServer(newServer(baseConfig(), limits{SessionTimeout: 300 * time.Millisecond}).handler())
+	client := &http.Client{}
+
+	inputs := sessionInputs(t, "facetrack", 24)
+	body := ndjsonBody(t, "facetrack", inputs)
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/stream/facetrack", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed the whole body but never close the pipe: only the timeout can
+	// end this session.
+	go pw.Write(body)
+
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	resp.Body.Close()
+	pw.CloseWithError(io.ErrClosedPipe)
+	if len(lines) == 0 {
+		t.Fatal("timed-out session returned nothing")
+	}
+	var tr sessionTrailer
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &tr); err != nil {
+		t.Fatalf("last line is not a trailer: %q", lines[len(lines)-1])
+	}
+	if tr.Done || tr.Error == "" {
+		t.Fatalf("timed-out session trailer: %+v, want error", tr)
+	}
+
+	ts.Close()
+	client.CloseIdleConnections()
+	checkGoroutines(t, baseline)
+}
+
+// TestPanicMiddlewareRecovers: a panic below the middleware becomes a 500
+// and a counted event, not a crashed connection goroutine.
+func TestPanicMiddlewareRecovers(t *testing.T) {
+	app := newServer(baseConfig(), limits{})
+	h := app.recovered(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("recovered panic: status %d, want 500", rec.Code)
+	}
+	if app.panics.Load() != 1 {
+		t.Fatalf("panic counter = %d, want 1", app.panics.Load())
+	}
+
+	var buf bytes.Buffer
+	app.met.WriteText(&buf) // engine counters; the serve counters are appended by the endpoint
+	mrec := httptest.NewRecorder()
+	app.handleMetrics(mrec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(mrec.Body.String(), "serve/counter[handler_panics]=1") {
+		t.Fatalf("/metrics does not count the panic:\n%s", mrec.Body.String())
+	}
+}
+
+// lockedLog is a goroutine-safe sink for http.Server.ErrorLog, which is
+// written from connection goroutines.
+type lockedLog struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (l *lockedLog) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.buf.Write(p)
+}
+
+func (l *lockedLog) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.buf.String()
+}
+
+// TestKeepAliveSurvivesEarlyError: a session that errors while unread
+// body bytes remain must not crash its connection goroutine. Regression:
+// with full duplex enabled unconditionally, net/http's post-handler body
+// drain hit EOF after the handler's pending reads were already aborted,
+// re-armed a background read nothing could cancel, and the next
+// keep-alive read panicked with "invalid concurrent Body.Read call".
+func TestKeepAliveSurvivesEarlyError(t *testing.T) {
+	errLog := new(lockedLog)
+	ts := httptest.NewUnstartedServer(newServer(baseConfig(), limits{MaxLine: 1024}).handler())
+	ts.Config.ErrorLog = log.New(errLog, "", 0)
+	ts.Start()
+	defer ts.Close()
+	client := ts.Client()
+
+	bad := strings.Repeat("x", 2048) + "\n"
+
+	// Error before any output: the oversized line rejects the whole
+	// session as a 400 with ~1KiB of body never read by the handler.
+	resp, err := client.Post(ts.URL+"/v1/stream/facetrack", "application/x-ndjson", strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized line: status %d, want 400", resp.StatusCode)
+	}
+
+	// Error after output has streamed (the full-duplex branch): push
+	// enough valid lines for outputs to flow, then the oversized line.
+	inputs := sessionInputs(t, "facetrack", 40)
+	good := ndjsonBody(t, "facetrack", inputs)
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/stream/facetrack", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	go pw.Write(good)
+	resp, err = client.Do(req) // returns once the first output flushes headers
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("reading first output line: %v", err)
+	}
+	if _, err := pw.Write([]byte(bad)); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	rest, _ := io.ReadAll(br)
+	resp.Body.Close()
+	if !strings.Contains(string(rest), `"done":false`) || !strings.Contains(string(rest), "length limit") {
+		t.Fatalf("mid-stream oversized line: trailer does not report the error:\n%s", rest)
+	}
+
+	// Nudge both connections through their next keep-alive read, then
+	// give any crashing goroutine time to reach the server's error log.
+	for i := 0; i < 2; i++ {
+		r, err := client.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+	}
+	time.Sleep(100 * time.Millisecond)
+	if s := errLog.String(); strings.Contains(s, "panic") {
+		t.Fatalf("connection goroutine panicked:\n%s", s)
+	}
+}

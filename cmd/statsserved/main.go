@@ -4,6 +4,9 @@
 //
 //	statsserved [-addr :8417] [-chunk 16] [-lookback 4] [-extra 1]
 //	            [-workers 4] [-adapt] [-seed 3] [-grace 15s]
+//	            [-max-sessions 64] [-session-timeout 0] [-max-body 1073741824]
+//	            [-max-line 1048576] [-chunk-deadline 0] [-retries 2]
+//	            [-retry-base 1ms] [-retry-max 250ms]
 //	statsserved -gen facetrack [-n 64] [-input-seed 1]
 //
 // In serving mode it accepts NDJSON sessions at
@@ -12,9 +15,19 @@
 // the final line a JSON trailer with the session's statistics. Concurrent
 // sessions run on independent pipelines; /metrics aggregates binned stage
 // latencies and counters across all of them; /healthz reports liveness;
-// GET /v1/benchmarks lists the streamable workloads. On SIGTERM or
-// SIGINT the server stops accepting connections and drains in-flight
-// sessions for -grace before force-closing.
+// /readyz reports routability (not-ready while draining);
+// GET /v1/benchmarks lists the streamable workloads.
+//
+// The process is bounded on every axis a client controls: concurrent
+// sessions (-max-sessions, shed with 429), session lifetime
+// (-session-timeout), request body size (-max-body, 413), and NDJSON
+// line length (-max-line, 400). Inside a session the engine's fault
+// layer isolates worker panics and missed per-chunk deadlines
+// (-chunk-deadline), retrying with exponential backoff (-retries,
+// -retry-base, -retry-max) before degrading to sequential re-execution
+// — committed outputs stay byte-identical throughout. On SIGTERM or
+// SIGINT the server turns /readyz not-ready, stops accepting sessions,
+// and drains in-flight ones for -grace before force-closing.
 //
 // With -gen it instead prints a benchmark's native input stream as NDJSON
 // to stdout — a ready-made session body for curl.
@@ -48,6 +61,14 @@ func main() {
 	adapt := flag.Bool("adapt", false, "retune chunk size online from commit/abort feedback")
 	seed := flag.Uint64("seed", 3, "default nondeterminism seed (override per session with ?seed=)")
 	grace := flag.Duration("grace", 15*time.Second, "drain period for in-flight sessions on SIGTERM")
+	maxSessions := flag.Int("max-sessions", 0, "concurrent session cap, excess shed with 429 (0: default 64)")
+	sessionTimeout := flag.Duration("session-timeout", 0, "per-session wall-clock limit (0: none)")
+	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0: default 1 GiB)")
+	maxLine := flag.Int("max-line", 0, "NDJSON input line cap in bytes (0: default 1 MiB)")
+	chunkDeadline := flag.Duration("chunk-deadline", 0, "per-chunk execution deadline; a missed deadline faults and retries the chunk (0: none)")
+	retries := flag.Int("retries", 0, "retry budget per faulted chunk before degrading to sequential re-execution (0: default 2)")
+	retryBase := flag.Duration("retry-base", 0, "initial retry backoff (0: default 1ms)")
+	retryMax := flag.Duration("retry-max", 0, "retry backoff ceiling (0: default 250ms)")
 	gen := flag.String("gen", "", "print this benchmark's inputs as NDJSON to stdout and exit")
 	n := flag.Int("n", 0, "with -gen, cap the number of input lines (0: native length)")
 	inputSeed := flag.Uint64("input-seed", 1, "with -gen, input-generation seed")
@@ -76,13 +97,25 @@ func main() {
 		Workers:     *workers,
 		Adapt:       *adapt,
 		Seed:        *seed,
+		Fault: stream.FaultPolicy{
+			ChunkDeadline: *chunkDeadline,
+			MaxRetries:    *retries,
+			RetryBase:     *retryBase,
+			RetryMax:      *retryMax,
+		},
 	}
 	if err := base.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "statsserved:", err)
 		os.Exit(1)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(base).handler()}
+	app := newServer(base, limits{
+		MaxSessions:    *maxSessions,
+		SessionTimeout: *sessionTimeout,
+		MaxBody:        *maxBody,
+		MaxLine:        *maxLine,
+	})
+	srv := &http.Server{Addr: *addr, Handler: app.handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -95,6 +128,10 @@ func main() {
 		log.Fatalf("statsserved: %v", err)
 	case <-ctx.Done():
 		stop()
+		// Turn /readyz not-ready and refuse new sessions, then drain
+		// in-flight ones; past the grace deadline, force-close every
+		// connection — session contexts cancel and pipelines unwind.
+		app.startDrain()
 		log.Printf("statsserved: signal received, draining sessions (grace %s)", *grace)
 		sctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()

@@ -5,15 +5,50 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"gostats/internal/bench"
 	"gostats/internal/critpath"
 	"gostats/internal/engine"
 	"gostats/internal/stream"
 )
+
+// limits bounds what one statsserved process will accept. Zero values
+// select the defaults in newServer; every limit exists so a single
+// misbehaving client — an unbounded body, an endless line, a session
+// that never finishes, or too many sessions at once — degrades into a
+// clean HTTP error instead of unbounded memory or goroutine growth.
+type limits struct {
+	// MaxSessions caps concurrent streaming sessions; excess requests
+	// are shed with 429. 0 means the default (64).
+	MaxSessions int
+	// SessionTimeout bounds one session's wall-clock lifetime. 0 means
+	// no timeout.
+	SessionTimeout time.Duration
+	// MaxBody caps a session request body in bytes. 0 means the default
+	// (1 GiB).
+	MaxBody int64
+	// MaxLine caps one NDJSON input line in bytes. 0 means
+	// bench.DefaultMaxLine.
+	MaxLine int
+}
+
+const (
+	defaultMaxSessions = 64
+	defaultMaxBody     = 1 << 30
+)
+
+// errBadRequest marks session failures caused by the request itself
+// (malformed or oversized input); the handler maps them to 4xx when no
+// output has been written yet.
+var errBadRequest = errors.New("bad request")
 
 // server multiplexes NDJSON streaming sessions onto per-session STATS
 // pipelines. Every session clones the base pipeline config (optionally
@@ -22,32 +57,100 @@ import (
 type server struct {
 	base stream.Config
 	met  *stream.Metrics
+	lim  limits
+
+	sem      chan struct{} // session slots; acquiring may not block
+	draining atomic.Bool   // readiness gate flipped by startDrain
+	shed     atomic.Int64  // sessions rejected at the cap
+	panics   atomic.Int64  // handler panics recovered by the middleware
 }
 
-func newServer(base stream.Config) *server {
+func newServer(base stream.Config, lim limits) *server {
 	if base.Metrics == nil {
 		base.Metrics = stream.NewMetrics()
 	}
-	return &server{base: base, met: base.Metrics}
+	if lim.MaxSessions == 0 {
+		lim.MaxSessions = defaultMaxSessions
+	}
+	if lim.MaxBody == 0 {
+		lim.MaxBody = defaultMaxBody
+	}
+	if lim.MaxLine == 0 {
+		lim.MaxLine = bench.DefaultMaxLine
+	}
+	s := &server{base: base, met: base.Metrics, lim: lim}
+	if lim.MaxSessions > 0 {
+		s.sem = make(chan struct{}, lim.MaxSessions)
+	}
+	return s
 }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("POST /v1/stream/{benchmark}", s.handleStream)
-	return mux
+	return s.recovered(mux)
 }
+
+// recovered is the outermost middleware: a panic escaping any handler is
+// counted and answered with a 500 instead of tearing down the
+// connection-serving goroutine silently. http.ErrAbortHandler is the
+// net/http-sanctioned way to abort a response and is re-raised.
+func (s *server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			s.panics.Add(1)
+			log.Printf("statsserved: panic in %s %s: %v", r.Method, r.URL.Path, v)
+			// Best effort: if the response has started this write fails,
+			// and net/http closes the connection mid-body, which a
+			// streaming client sees as a truncated session (no trailer).
+			http.Error(w, "internal error", http.StatusInternalServerError)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// startDrain flips the server into draining mode: /readyz turns not-ready
+// so load balancers stop routing here, and new sessions are refused while
+// in-flight ones run to completion (bounded by the caller's grace
+// period).
+func (s *server) startDrain() { s.draining.Store(true) }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
 
+// handleReadyz is the routability signal, distinct from /healthz
+// liveness: a draining process is still alive (don't restart it) but must
+// not receive new sessions.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.met.WriteText(w)
+	// Serving-layer counters, kept out of the engine collector: they
+	// describe this HTTP front end, not the pipelines behind it.
+	fmt.Fprintf(w, "serve/counter[handler_panics]=%d\n", s.panics.Load())
+	fmt.Fprintf(w, "serve/counter[sessions_shed]=%d\n", s.shed.Load())
 }
 
 func (s *server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
@@ -104,7 +207,33 @@ func attribute(rec *engine.Recorder, workers int) *attribution {
 // body, committed NDJSON outputs in the response, a trailer line last.
 // Outputs stream back while inputs are still arriving; the pipeline's
 // backpressure propagates to the client through unread request bytes.
+//
+// Failures before the first output byte get a plain HTTP status —
+// 4xx when the request itself is at fault (malformed or oversized
+// input), 429 at the session cap, 503 while draining. Once output has
+// streamed, errors travel in the trailer line instead.
 func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "session capacity reached", http.StatusTooManyRequests)
+			return
+		}
+	}
+	if r.ContentLength > s.lim.MaxBody {
+		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.lim.MaxBody)
+
 	name := r.PathValue("benchmark")
 	codec, err := bench.CodecFor(name)
 	if err != nil {
@@ -136,10 +265,17 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// The session lives inside the request context: a client disconnect or
-	// a forced server close tears the pipeline down.
+	// The session lives inside the request context — a client disconnect
+	// or a forced server close tears the pipeline down — further bounded
+	// by the per-session deadline when one is configured.
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
+	if s.lim.SessionTimeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeoutCause(ctx, s.lim.SessionTimeout,
+			fmt.Errorf("session exceeded -session-timeout %s", s.lim.SessionTimeout))
+		defer tcancel()
+	}
 	p, err := stream.New(ctx, prog, cfg)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -154,42 +290,47 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		p.Wait()
 	}()
 
-	// Sessions are full duplex: outputs stream back while the client is
-	// still sending inputs. Without this, the first response write would
-	// try to drain the request body and deadlock against backpressure.
-	// (Errors mean the transport is full duplex already, e.g. HTTP/2.)
-	_ = http.NewResponseController(w).EnableFullDuplex()
+	// Full duplex is enabled lazily, at the first output write (below):
+	// error-only responses leave the body to net/http's usual
+	// consume-or-close handling, which — unlike the full-duplex path —
+	// never re-arms a background read after the handler returns. (With
+	// full duplex on, finishRequest aborts pending reads *before* closing
+	// the body; the close's drain then hits EOF and starts a background
+	// read nothing aborts, and the next keep-alive read panics.)
+	rc := http.NewResponseController(w)
 
 	// Pusher: the single producer. It owns Push and Close, decoding body
-	// lines until EOF or error.
+	// lines until EOF or error. Oversized lines stop it with a typed
+	// error instead of buffering without bound.
 	pushDone := make(chan error, 1)
 	go func() {
 		defer p.Close()
-		sc := bufio.NewScanner(r.Body)
-		sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
-		line := 0
+		sc := bench.NewLineScanner(r.Body, s.lim.MaxLine)
 		for sc.Scan() {
 			b := sc.Bytes()
 			if len(bytes.TrimSpace(b)) == 0 {
 				continue
 			}
-			line++
 			in, err := codec.DecodeInput(b)
 			if err != nil {
-				pushDone <- fmt.Errorf("input line %d: %w", line, err)
+				pushDone <- fmt.Errorf("%w: input line %d: %v", errBadRequest, sc.Line(), err)
 				return
 			}
 			if err := p.Push(ctx, in); err != nil {
-				pushDone <- fmt.Errorf("input line %d: %w", line, err)
+				pushDone <- fmt.Errorf("input line %d: %w", sc.Line(), err)
 				return
 			}
 		}
-		pushDone <- sc.Err()
+		err := sc.Err()
+		if errors.Is(err, bench.ErrLineTooLong) {
+			err = fmt.Errorf("%w: %v", errBadRequest, err)
+		}
+		pushDone <- err
 	}()
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	flusher, _ := w.(http.Flusher)
 	out := bufio.NewWriter(w)
+	flusher, _ := w.(http.Flusher)
+	started := false // true once a response byte is committed
 	var encErr error
 	for o := range p.Outputs() {
 		b, err := codec.EncodeOutput(o)
@@ -197,6 +338,16 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 			encErr = err
 			cancel() // abandon the session; drain happens in the defer
 			break
+		}
+		if !started {
+			// Outputs stream back while the client is still sending
+			// inputs. Without full duplex, this first write would try
+			// to drain the request body and deadlock against
+			// backpressure. (Errors mean the transport is full duplex
+			// already, e.g. HTTP/2.)
+			_ = rc.EnableFullDuplex()
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			started = true
 		}
 		out.Write(b)
 		out.WriteByte('\n')
@@ -206,8 +357,63 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	pushErr := <-pushDone
+	// The pusher can be blocked reading a body the client holds open; when
+	// the session context ends first (timeout, disconnect, drain), poison
+	// the connection read deadline so that read fails, then wait for the
+	// pusher: the handler must never return with a body read in flight.
+	var pushErr error
+	pusherExited := false
+	select {
+	case pushErr = <-pushDone:
+		pusherExited = true
+	case <-ctx.Done():
+		if rc.SetReadDeadline(time.Now()) == nil {
+			<-pushDone
+			pusherExited = true
+		}
+		pushErr = context.Cause(ctx)
+	}
 	stats, runErr := p.Wait()
+	var sessionErr error
+	for _, err := range []error{encErr, pushErr, runErr} {
+		if err != nil {
+			sessionErr = err
+			break
+		}
+	}
+
+	// An errored session leaves unread body bytes, with the client
+	// possibly still sending — and net/http's post-handler cleanup reads
+	// them in ways that misbehave here: the pre-response drain can block
+	// the error status against a streaming client, and (with full duplex
+	// on) a drain that reaches EOF after the handler's pending reads were
+	// aborted re-arms a background read nothing cancels, panicking the
+	// next keep-alive read. So finish the body story in-handler: poison
+	// the connection read deadline, then drain whatever is already
+	// buffered. Either the body hits EOF here — where finishRequest still
+	// reaps the read it triggers — or every later read fails fast and
+	// the connection is simply not reused.
+	if sessionErr != nil && pusherExited && rc.SetReadDeadline(time.Now()) == nil {
+		_, _ = io.CopyN(io.Discard, r.Body, 64<<10)
+	}
+
+	// Nothing written yet: the failure can still be a clean status line.
+	if !started && sessionErr != nil {
+		status := http.StatusInternalServerError
+		var mbe *http.MaxBytesError
+		switch {
+		case errors.As(sessionErr, &mbe):
+			status = http.StatusRequestEntityTooLarge
+		case errors.Is(sessionErr, errBadRequest):
+			status = http.StatusBadRequest
+		}
+		http.Error(w, sessionErr.Error(), status)
+		return
+	}
+
+	if !started {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
 	tr := sessionTrailer{Done: true, Benchmark: name, Stats: stats}
 	if rec != nil {
 		workers := cfg.Workers
@@ -216,11 +422,8 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		tr.Attribution = attribute(rec, workers)
 	}
-	for _, err := range []error{encErr, pushErr, runErr} {
-		if err != nil {
-			tr.Done, tr.Error = false, err.Error()
-			break
-		}
+	if sessionErr != nil {
+		tr.Done, tr.Error = false, sessionErr.Error()
 	}
 	if b, err := json.Marshal(tr); err == nil {
 		out.Write(b)

@@ -156,7 +156,7 @@ func checkGoroutines(t *testing.T, baseline int) {
 func TestServeConcurrentSessions(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 	cfg := baseConfig()
-	ts := httptest.NewServer(newServer(cfg).handler())
+	ts := httptest.NewServer(newServer(cfg, limits{}).handler())
 
 	sessions := []struct {
 		name string
@@ -224,7 +224,7 @@ func TestServeConcurrentSessions(t *testing.T) {
 // pipeline or handler goroutines left behind.
 func TestSessionDrainsOnCancel(t *testing.T) {
 	baseline := runtime.NumGoroutine()
-	ts := httptest.NewServer(newServer(baseConfig()).handler())
+	ts := httptest.NewServer(newServer(baseConfig(), limits{}).handler())
 	client := &http.Client{}
 
 	inputs := sessionInputs(t, "facetrack", 48)
@@ -261,7 +261,7 @@ func TestSessionDrainsOnCancel(t *testing.T) {
 // liveness, benchmark discovery, aggregated metrics, and rejection of
 // unknown benchmarks and bad parameters.
 func TestServeEndpoints(t *testing.T) {
-	ts := httptest.NewServer(newServer(baseConfig()).handler())
+	ts := httptest.NewServer(newServer(baseConfig(), limits{}).handler())
 	defer ts.Close()
 
 	get := func(path string) (int, string) {
@@ -326,7 +326,8 @@ func TestServeEndpoints(t *testing.T) {
 		t.Fatalf("bad query: status %d, want 400", resp.StatusCode)
 	}
 
-	// Malformed input line: the session fails cleanly via the trailer.
+	// Malformed input before any output: a clean 400, not a 200 with an
+	// error trailer and not a connection reset.
 	resp, err = http.Post(ts.URL+"/v1/stream/facetrack", "application/x-ndjson",
 		strings.NewReader("{not json}\n"))
 	if err != nil {
@@ -334,12 +335,10 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	b, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
-	var tr sessionTrailer
-	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &tr); err != nil {
-		t.Fatal(err)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed input: status %d, want 400 (%s)", resp.StatusCode, b)
 	}
-	if tr.Done || tr.Error == "" {
-		t.Fatalf("malformed input: trailer %+v, want error", tr)
+	if !strings.Contains(string(b), "input line 1") {
+		t.Fatalf("malformed input: body %q does not locate the bad line", b)
 	}
 }

@@ -75,6 +75,25 @@ type (
 	Report = engine.Report
 )
 
+// Fault-tolerance types (see engine's fault layer): panics and missed
+// deadlines inside the protocol become chunk faults that retry and then
+// degrade to sequential re-execution instead of crashing the process.
+type (
+	// FaultPolicy configures panic isolation, per-chunk deadlines, and
+	// retry/backoff.
+	FaultPolicy = engine.FaultPolicy
+	// FaultSite locates a fault within the chunk protocol.
+	FaultSite = engine.FaultSite
+	// ChunkFault describes one isolated fault.
+	ChunkFault = engine.ChunkFault
+	// FaultError is the terminal session error after fault tolerance
+	// exhausted.
+	FaultError = engine.FaultError
+	// Injector is the deterministic fault-injection seam a Program may
+	// implement (see internal/faultinject).
+	Injector = engine.Injector
+)
+
 // NewSimExec wraps a simulated thread.
 func NewSimExec(th *machine.Thread) *SimExec { return engine.NewSimExec(th) }
 

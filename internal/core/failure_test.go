@@ -1,26 +1,34 @@
 package core
 
 import (
+	"errors"
+	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"gostats/internal/machine"
 	"gostats/internal/rng"
 )
 
-// faultyProg wraps toyProg and injects failures at chosen points.
+// faultyProg wraps toyProg and injects failures at chosen points. With
+// persistent set, the Update panic repeats on every call from the trigger
+// point on (a hard fault: retries and degraded re-execution fault too);
+// without it the panic fires exactly once (a transient fault: the
+// engine's retry re-executes cleanly).
 type faultyProg struct {
 	*toyProg
-	panicOnUpdate  int // panic on the nth Update call (0 = never)
+	panicOnUpdate  int64 // panic on the nth Update call (0 = never)
+	persistent     bool  // keep panicking on every later Update too
 	panicInMatch   bool
 	panicInClone   bool
-	updates        int
+	updates        atomic.Int64
 	badCostNegInst bool
 }
 
 func (f *faultyProg) Update(s State, in Input, r *rng.Stream) (State, Output) {
-	f.updates++
-	if f.panicOnUpdate > 0 && f.updates == f.panicOnUpdate {
+	n := f.updates.Add(1)
+	if f.panicOnUpdate > 0 && (n == f.panicOnUpdate || (f.persistent && n > f.panicOnUpdate)) {
 		panic("injected update failure")
 	}
 	return f.toyProg.Update(s, in, r)
@@ -61,8 +69,12 @@ func runFaulty(t *testing.T, f *faultyProg, cfg Config) error {
 	})
 }
 
+// A persistent worker panic exhausts the retry budget, the degraded
+// sequential re-execution faults too, and the session fails with a
+// structured FaultError carrying the panic value — it must surface, not
+// hang or kill the process.
 func TestUpdatePanicInWorkerPropagates(t *testing.T) {
-	f := &faultyProg{toyProg: easyProg(), panicOnUpdate: 15}
+	f := &faultyProg{toyProg: easyProg(), panicOnUpdate: 15, persistent: true}
 	err := runFaulty(t, f, Config{Chunks: 4, Lookback: 4, ExtraStates: 1, InnerWidth: 1, Seed: 1})
 	if err == nil || !strings.Contains(err.Error(), "injected update failure") {
 		t.Fatalf("worker panic not propagated: %v", err)
@@ -71,8 +83,8 @@ func TestUpdatePanicInWorkerPropagates(t *testing.T) {
 
 func TestUpdatePanicInAltProducerPropagates(t *testing.T) {
 	// The very first updates of a non-first worker run in its alternative
-	// producer; panic there must surface too.
-	f := &faultyProg{toyProg: easyProg(), panicOnUpdate: 2}
+	// producer; a persistent panic there must surface too.
+	f := &faultyProg{toyProg: easyProg(), panicOnUpdate: 2, persistent: true}
 	err := runFaulty(t, f, Config{Chunks: 4, Lookback: 4, ExtraStates: 1, InnerWidth: 1, Seed: 1})
 	if err == nil || !strings.Contains(err.Error(), "injected update failure") {
 		t.Fatalf("alt-producer panic not propagated: %v", err)
@@ -104,12 +116,53 @@ func TestNegativeCostPanicsDeterministically(t *testing.T) {
 }
 
 func TestGangHelperPanicPropagates(t *testing.T) {
-	// Panic during a gang-parallel update (the helper threads are live).
-	f := &faultyProg{toyProg: easyProg(), panicOnUpdate: 10}
+	// Persistent panic during a gang-parallel update (the helper threads
+	// are live).
+	f := &faultyProg{toyProg: easyProg(), panicOnUpdate: 10, persistent: true}
 	f.parInstr = 50_000
 	f.grain = 4
 	err := runFaulty(t, f, Config{Chunks: 2, Lookback: 2, ExtraStates: 0, InnerWidth: 3, Seed: 1})
 	if err == nil || !strings.Contains(err.Error(), "injected update failure") {
 		t.Fatalf("gang-mode panic not propagated: %v", err)
+	}
+}
+
+// A transient (one-shot) panic is the fault layer's bread and butter: the
+// faulted attempt is isolated and retried, and because RNG derivation is
+// pure the retry commits outputs byte-identical to a fault-free run.
+func TestTransientUpdatePanicIsolated(t *testing.T) {
+	cfg := Config{Chunks: 4, Lookback: 4, ExtraStates: 1, InnerWidth: 1, Seed: 1}
+	clean, err := Run(NewNativeExec(), easyProg(), toyInputs(40), cfg)
+	if err != nil {
+		t.Fatalf("fault-free run: %v", err)
+	}
+	f := &faultyProg{toyProg: easyProg(), panicOnUpdate: 15}
+	rep, err := Run(NewNativeExec(), f, toyInputs(40), cfg)
+	if err != nil {
+		t.Fatalf("transient panic not isolated: %v", err)
+	}
+	if !reflect.DeepEqual(rep.Outputs, clean.Outputs) {
+		t.Fatalf("outputs diverged after isolated fault:\nfaulted: %v\nclean:   %v",
+			rep.Outputs, clean.Outputs)
+	}
+}
+
+// A persistent fault on the native path fails with a structured
+// *FaultError (and never a process crash), so callers can distinguish
+// "this session is poisoned" from transport or configuration errors.
+func TestPersistentPanicReturnsFaultError(t *testing.T) {
+	f := &faultyProg{toyProg: easyProg(), panicOnUpdate: 15, persistent: true}
+	cfg := Config{Chunks: 4, Lookback: 4, ExtraStates: 1, InnerWidth: 1, Seed: 1}
+	_, err := Run(NewNativeExec(), f, toyInputs(40), cfg)
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("want *FaultError, got %T: %v", err, err)
+	}
+	var cf *ChunkFault
+	if !errors.As(err, &cf) {
+		t.Fatalf("FaultError does not unwrap to *ChunkFault: %v", err)
+	}
+	if cf.Panic == nil || !strings.Contains(err.Error(), "injected update failure") {
+		t.Fatalf("fault lost the panic value: %+v", cf)
 	}
 }

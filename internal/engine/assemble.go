@@ -8,6 +8,14 @@ package engine
 func (p *Pipeline) assemble() {
 	defer p.stages.Done()
 	defer close(p.jobs)
+	// A panic here (e.g. the program's Initial) has no chunk to charge it
+	// to; it fails the session as a whole — structured error, not a crash.
+	defer func() {
+		if r := recover(); r != nil {
+			p.fail(&FaultError{Fault: &ChunkFault{
+				Chunk: -1, Site: SiteAssemble, Panic: r, Stack: stack()}})
+		}
+	}()
 
 	j := 0        // next chunk index
 	consumed := 0 // commit outcomes consumed so far

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -16,6 +17,10 @@ const (
 	decisionPending decision = iota
 	decisionCommit
 	decisionAbort
+	// decisionFatal poisons the chain when a predecessor exhausted its
+	// fault tolerance: the worker releases its states and propagates the
+	// poison instead of committing.
+	decisionFatal
 )
 
 // slot carries the cross-chunk coordination state for one chunk: the
@@ -27,6 +32,10 @@ type slot struct {
 
 	spec      State
 	specReady bool
+	// specFault marks that the worker exhausted its retries without ever
+	// publishing a speculative state; the predecessor decides abort
+	// without a comparison and the worker recovers from the true state.
+	specFault bool
 
 	dec       decision
 	trueFinal State
@@ -44,11 +53,21 @@ type run struct {
 	root   *rng.Stream
 	pool   *StatePool
 	sink   Sink
+	inj    Injector    // prog's fault injector, if it carries one
+	pol    FaultPolicy // normalized fault policy
 
 	threads atomic.Int64
 	states  atomic.Int64
 	commits atomic.Int64
 	aborts  atomic.Int64
+
+	fatalOnce sync.Once
+	fatalErr  error // terminal fault; read only after the workers join
+}
+
+// setFatal records the session's terminal error (first one wins).
+func (rt *run) setFatal(err error) {
+	rt.fatalOnce.Do(func() { rt.fatalErr = err })
 }
 
 // Run executes the STATS execution model for p over inputs on the given
@@ -75,7 +94,9 @@ func runBatch(ex Exec, p Program, inputs []Input, cfg Config, sink Sink) (*Repor
 		root:   rng.New(cfg.Seed).Derive("stats:" + p.Name()),
 		pool:   NewStatePool(p),
 		sink:   sink,
+		pol:    cfg.Fault.normalized(),
 	}
+	rt.inj, _ = p.(Injector)
 	chunks := len(rt.bounds)
 	rt.slots = make([]*slot, chunks)
 	rt.outs = make([][]Output, chunks)
@@ -137,6 +158,9 @@ func runBatch(ex Exec, p Program, inputs []Input, cfg Config, sink Sink) (*Repor
 		rep.Outputs = append(rep.Outputs, outs...)
 	}
 	rt.emit(Event{Kind: EvSessionEnd, Chunk: -1, Worker: -1})
+	if rt.fatalErr != nil {
+		return nil, rt.fatalErr
+	}
 	return rep, nil
 }
 
@@ -182,6 +206,11 @@ func (rt *run) window(j int) []Input {
 }
 
 // worker runs the lifecycle of chunk j (§II-B and Fig. 5 of the paper).
+// Each protocol phase runs under fault isolation: a panic or missed
+// deadline in the speculative phase is retried with backoff, then — if
+// the retry budget exhausts — degraded to an abort-style re-execution
+// from the true predecessor state; only a fault there too fails the
+// session (with a structured error, never a process crash).
 func (rt *run) worker(ex Exec, j int, start State) {
 	p := rt.prog
 	myRng := rt.root.DeriveN("worker", j)
@@ -195,82 +224,115 @@ func (rt *run) worker(ex Exec, j int, start State) {
 	}()
 
 	last := j == len(rt.bounds)-1
-	s := start
 	rt.emit(Event{Kind: EvChunk, Chunk: j, Worker: j, N: len(rt.chunkInputs(j))})
 	tSpec := rt.now()
 
-	if j > 0 {
-		// Alternative producer: build the speculative start state by
-		// replaying only the last k inputs of the previous chunk from a
-		// cold state (§III-B "Generating speculative states").
-		t0 := rt.now()
-		s = SpeculativeState(ex, p, rt.window(j-1), myRng, rt.countState)
-		rt.emit(Event{Kind: EvAltProduced, Chunk: j, Worker: j,
-			N: len(rt.window(j - 1)), Start: t0, Dur: rt.since(t0)})
-		// Publish a copy of the speculative state so the predecessor can
-		// check it while this worker speculatively computes the chunk.
-		t0 = rt.now()
-		spec := rt.pool.Clone(s)
-		rt.states.Add(1)
-		ex.Copy(p.StateBytes(), ex.Loc(), p.Name()+".spec")
-		rt.emit(Event{Kind: EvSpecPublished, Chunk: j, Worker: j, Start: t0, Dur: rt.since(t0)})
+	// --- Speculative phase, fault-isolated with retry/backoff. RNG
+	// derivation is pure, so a retried attempt re-derives the exact
+	// substreams of the faulted one and its results are byte-identical to
+	// a fault-free run. ---
+	var outs []Output
+	var final State
+	var origs []State
+	var specFault *ChunkFault
+	published := false
+	for attempt := 0; ; attempt++ {
+		outs, final, origs = nil, nil, nil
+		site := SiteAltProducer
+		fault := runProtected(j, attempt, &site, func() {
+			outs, final, origs = rt.speculateOnce(ex, g, j, attempt, start, myRng, jit, &published, &site)
+		})
+		if fault == nil {
+			break
+		}
+		rt.emit(Event{Kind: EvFault, Chunk: j, Worker: j, N: attempt, M: int(fault.Site)})
+		if attempt >= rt.pol.MaxRetries {
+			specFault = fault
+			break
+		}
+		d := rt.pol.backoff(attempt, myRng.Derive("faultbackoff"))
+		rt.emit(Event{Kind: EvRetry, Chunk: j, Worker: j, N: attempt + 1, Dur: d})
+		time.Sleep(d)
+	}
+	if specFault == nil {
+		rt.emit(Event{Kind: EvSpeculated, Chunk: j, Worker: j,
+			N: len(rt.chunkInputs(j)), Start: tSpec, Dur: rt.since(tSpec)})
+	} else if j > 0 && !published {
+		// The predecessor is (or will be) waiting on a speculative state
+		// that will never arrive; mark the slot faulted so it decides
+		// abort without a comparison instead of blocking forever.
 		sl := rt.slots[j]
 		sl.mu.Lock(ex)
-		sl.spec = spec
 		sl.specReady = true
+		sl.specFault = true
 		sl.cv.Broadcast(ex)
 		sl.mu.Unlock(ex)
 	}
 
-	// Speculatively (for j > 0) process the chunk.
-	outs, snapshot, final := rt.runChunk(ex, g, j, s, myRng.Derive("body"), jit, trace.CatChunkWork, EvBody)
-
-	var origs []State
-	if !last {
-		origs = rt.genOrigStates(ex, j, snapshot, final, myRng)
-		// The snapshot has been replayed into the replicas; retire it.
-		rt.pool.Release(snapshot)
-	}
-	rt.emit(Event{Kind: EvSpeculated, Chunk: j, Worker: j,
-		N: len(rt.chunkInputs(j)), Start: tSpec, Dur: rt.since(tSpec)})
-
 	// Wait for this chunk's own commit decision (program order).
+	dec, tf, srcLoc := decisionCommit, State(nil), -1
 	if j > 0 {
 		sl := rt.slots[j]
 		sl.mu.Lock(ex)
 		for sl.dec == decisionPending {
 			sl.cv.Wait(ex)
 		}
-		dec, tf, srcLoc := sl.dec, sl.trueFinal, sl.srcLoc
+		dec, tf, srcLoc = sl.dec, sl.trueFinal, sl.srcLoc
 		sl.mu.Unlock(ex)
-		if dec == decisionAbort {
-			// Mispeculation (§III-E): rerun the chunk from the true state
-			// produced by the predecessor. The speculative run's states —
-			// including its final state, origs[0] — are dead; retire them
-			// before the recovery run re-materializes the set.
-			rt.aborts.Add(1)
-			rt.emit(Event{Kind: EvAborted, Chunk: j, Worker: j})
-			if last {
-				rt.pool.Release(final)
+	}
+	if dec == decisionFatal {
+		// A predecessor already failed the session; release what this
+		// chunk holds and pass the poison down the chain.
+		if last {
+			rt.pool.Release(final)
+		}
+		for _, o := range origs {
+			rt.pool.Release(o)
+		}
+		rt.poison(ex, j)
+		return
+	}
+
+	if dec == decisionAbort || specFault != nil {
+		// Mispeculation (§III-E) or exhausted speculative retries: rerun
+		// the chunk from the true state produced by the predecessor. The
+		// speculative run's states — including its final state, origs[0] —
+		// are dead; retire them before the recovery run re-materializes
+		// the set. (A faulted speculation carries none.)
+		rt.aborts.Add(1)
+		if specFault != nil {
+			rt.emit(Event{Kind: EvDegraded, Chunk: j, Worker: j, N: specFault.Attempt})
+		}
+		rt.emit(Event{Kind: EvAborted, Chunk: j, Worker: j})
+		if last {
+			rt.pool.Release(final)
+		}
+		for _, o := range origs {
+			rt.pool.Release(o)
+		}
+		var rexFault *ChunkFault
+		for attempt := 0; ; attempt++ {
+			outs, final, origs = nil, nil, nil
+			site := SiteReexec
+			fault := runProtected(j, attempt, &site, func() {
+				outs, final, origs = rt.reexecOnce(ex, g, j, attempt, tf, srcLoc, myRng, jit, last)
+			})
+			if fault == nil {
+				break
 			}
-			for _, o := range origs {
-				rt.pool.Release(o)
+			rt.emit(Event{Kind: EvFault, Chunk: j, Worker: j, N: attempt, M: int(fault.Site)})
+			if attempt >= rt.pol.MaxRetries {
+				rexFault = fault
+				break
 			}
-			origs = nil
-			t0 := rt.now()
-			s2 := rt.pool.Clone(tf)
-			rt.states.Add(1)
-			ex.Copy(p.StateBytes(), srcLoc, p.Name()+".recover")
-			outs, snapshot, final = rt.runChunk(ex, g, j, s2, myRng.Derive("reexec"), jit, trace.CatReexec, EvReexec)
-			rt.emit(Event{Kind: EvReexec, Chunk: j, Worker: j,
-				N: len(rt.chunkInputs(j)), Start: t0, Dur: rt.since(t0)})
-			if !last {
-				origs = rt.genOrigStates(ex, j, snapshot, final, myRng.Derive("reorig"))
-				rt.pool.Release(snapshot)
-			}
-		} else {
-			rt.commits.Add(1)
-			rt.emit(Event{Kind: EvCommitted, Chunk: j, Worker: j})
+			d := rt.pol.backoff(attempt, myRng.Derive("faultbackoff"))
+			rt.emit(Event{Kind: EvRetry, Chunk: j, Worker: j, N: attempt + 1, Dur: d})
+			time.Sleep(d)
+		}
+		if rexFault != nil {
+			rt.setFatal(&FaultError{Fault: rexFault})
+			rt.poison(ex, j)
+			return
 		}
 	} else {
 		rt.commits.Add(1)
@@ -287,17 +349,21 @@ func (rt *run) worker(ex Exec, j int, start State) {
 		for !nxt.specReady {
 			nxt.cv.Wait(ex)
 		}
-		spec := nxt.spec
+		spec, sFault := nxt.spec, nxt.specFault
 		nxt.mu.Unlock(ex)
 
-		t0 := rt.now()
-		matched, inspected := matchAnyN(ex, p, origs, spec)
-		rt.emit(Event{Kind: EvValidated, Chunk: j + 1, Worker: j,
-			N: inspected, Matched: matched, Start: t0, Dur: rt.since(t0)})
-		// The boundary is validated: the replica originals and the
+		matched := false
+		if !sFault {
+			t0 := rt.now()
+			var inspected int
+			matched, inspected = matchAnyN(ex, p, origs, spec)
+			rt.emit(Event{Kind: EvValidated, Chunk: j + 1, Worker: j,
+				N: inspected, Matched: matched, Start: t0, Dur: rt.since(t0)})
+		}
+		// The boundary is resolved: the replica originals and the
 		// successor's published speculative copy are both dead. origs[0]
 		// (this chunk's final state) lives on as the successor's recovery
-		// state.
+		// state. (spec is nil when the successor never published one.)
 		rt.pool.ReleaseReplicas(origs)
 		rt.pool.Release(spec)
 		nxt.mu.Lock(ex)
@@ -313,6 +379,112 @@ func (rt *run) worker(ex Exec, j int, start State) {
 	}
 }
 
+// poison propagates a fatal failure to chunk j+1's decision slot so the
+// rest of the chain unwinds instead of deadlocking on a decision that
+// will never be published.
+func (rt *run) poison(ex Exec, j int) {
+	if j == len(rt.bounds)-1 {
+		return
+	}
+	nxt := rt.slots[j+1]
+	nxt.mu.Lock(ex)
+	nxt.dec = decisionFatal
+	nxt.cv.Broadcast(ex)
+	nxt.mu.Unlock(ex)
+}
+
+// speculateOnce is one fault-isolated attempt at chunk j's speculative
+// phase: alternative production (chunk 0 instead uses the dispatched
+// initial state), publishing the speculative copy — once; retries reuse
+// the already published copy, which is still the state validation must
+// check — the chunk body, and original-state generation. site tracks the
+// protocol phase for fault attribution.
+func (rt *run) speculateOnce(ex Exec, g *Gang, j, attempt int, start State, myRng, jit *rng.Stream, published *bool, site *FaultSite) ([]Output, State, []State) {
+	p := guardProgram(rt.prog, rt.pol.ChunkDeadline)
+	last := j == len(rt.bounds)-1
+	s := start
+	if j == 0 {
+		injectAt(rt.inj, SiteAltProducer, j, attempt, nil)
+		if attempt > 0 {
+			// The dispatched initial state was consumed (and possibly
+			// half-mutated) by the faulted attempt; rebuild it from the
+			// same derivation the setup phase used.
+			s = rt.prog.Initial(rt.root.Derive("init"))
+			rt.states.Add(1)
+		}
+	} else {
+		// Alternative producer: build the speculative start state by
+		// replaying only the last k inputs of the previous chunk from a
+		// cold state (§III-B "Generating speculative states").
+		t0 := rt.now()
+		s = SpeculativeState(ex, p, rt.window(j-1), myRng, rt.countState)
+		// The injector sees the produced state before it is published:
+		// a corrupted speculative state poisons the published copy and
+		// the body run together, so boundary validation catches it.
+		s = injectAt(rt.inj, SiteAltProducer, j, attempt, s)
+		rt.emit(Event{Kind: EvAltProduced, Chunk: j, Worker: j,
+			N: len(rt.window(j - 1)), Start: t0, Dur: rt.since(t0)})
+		if !*published {
+			// Publish a copy of the speculative state so the predecessor
+			// can check it while this worker speculatively computes the
+			// chunk.
+			t0 = rt.now()
+			spec := rt.pool.Clone(s)
+			rt.states.Add(1)
+			ex.Copy(p.StateBytes(), ex.Loc(), p.Name()+".spec")
+			rt.emit(Event{Kind: EvSpecPublished, Chunk: j, Worker: j, Start: t0, Dur: rt.since(t0)})
+			sl := rt.slots[j]
+			sl.mu.Lock(ex)
+			sl.spec = spec
+			sl.specReady = true
+			sl.cv.Broadcast(ex)
+			sl.mu.Unlock(ex)
+			*published = true
+		}
+	}
+
+	*site = SiteBody
+	s = injectAt(rt.inj, SiteBody, j, attempt, s)
+	// Speculatively (for j > 0) process the chunk.
+	outs, snapshot, final := rt.runChunk(ex, p, g, j, s, myRng.Derive("body"), jit, trace.CatChunkWork, EvBody)
+
+	var origs []State
+	if !last {
+		*site = SiteOrigStates
+		injectAt(rt.inj, SiteOrigStates, j, attempt, nil)
+		origs = rt.genOrigStates(ex, p, j, snapshot, final, myRng)
+		// The snapshot has been replayed into the replicas; retire it.
+		rt.pool.Release(snapshot)
+	}
+	return outs, final, origs
+}
+
+// reexecOnce is one fault-isolated attempt at recovery re-execution from
+// the true predecessor state tf (nil for chunk 0, whose true start state
+// is a rebuilt initial state).
+func (rt *run) reexecOnce(ex Exec, g *Gang, j, attempt int, tf State, srcLoc int, myRng, jit *rng.Stream, last bool) ([]Output, State, []State) {
+	p := guardProgram(rt.prog, rt.pol.ChunkDeadline)
+	injectAt(rt.inj, SiteReexec, j, attempt, nil)
+	t0 := rt.now()
+	var s2 State
+	if tf != nil {
+		s2 = rt.pool.Clone(tf)
+	} else {
+		s2 = rt.prog.Initial(rt.root.Derive("init"))
+	}
+	rt.states.Add(1)
+	ex.Copy(p.StateBytes(), srcLoc, p.Name()+".recover")
+	outs, snapshot, final := rt.runChunk(ex, p, g, j, s2, myRng.Derive("reexec"), jit, trace.CatReexec, EvReexec)
+	rt.emit(Event{Kind: EvReexec, Chunk: j, Worker: j,
+		N: len(rt.chunkInputs(j)), Start: t0, Dur: rt.since(t0)})
+	var origs []State
+	if !last {
+		origs = rt.genOrigStates(ex, p, j, snapshot, final, myRng.Derive("reorig"))
+		rt.pool.Release(snapshot)
+	}
+	return outs, final, origs
+}
+
 // countState and countThread are the accounting hooks the chunk
 // primitives report through.
 func (rt *run) countState()  { rt.states.Add(1) }
@@ -324,14 +496,14 @@ func (rt *run) countThread() { rt.threads.Add(1) }
 // outputs, the snapshot (nil for the last chunk) and the final state.
 // bodyKind labels the body event (EvBody for speculative runs, EvReexec
 // timing is emitted by the caller around the recovery run).
-func (rt *run) runChunk(ex Exec, g *Gang, j int, s State, rnd, jit *rng.Stream, cat trace.Category, bodyKind Kind) ([]Output, State, State) {
+func (rt *run) runChunk(ex Exec, p Program, g *Gang, j int, s State, rnd, jit *rng.Stream, cat trace.Category, bodyKind Kind) ([]Output, State, State) {
 	chunk := rt.chunkInputs(j)
 	snapAt := -1
 	if j != len(rt.bounds)-1 {
 		snapAt = len(chunk) - len(rt.window(j))
 	}
 	t0 := rt.now()
-	outs, snapshot, final := ProcessChunk(ex, rt.prog, rt.pool, g, chunk, snapAt, s, rnd, jit, cat, rt.countState, nil)
+	outs, snapshot, final := ProcessChunk(ex, p, rt.pool, g, chunk, snapAt, s, rnd, jit, cat, rt.countState, nil)
 	if bodyKind == EvBody {
 		rt.emit(Event{Kind: EvBody, Chunk: j, Worker: j, N: len(chunk), Start: t0, Dur: rt.since(t0)})
 	}
@@ -346,10 +518,10 @@ func (rt *run) runChunk(ex Exec, g *Gang, j int, s State, rnd, jit *rng.Stream, 
 // plus ExtraStates replicas, each re-running the last window inputs from
 // the snapshot with fresh nondeterminism on its own thread (Fig. 5,
 // cores 0–2).
-func (rt *run) genOrigStates(ex Exec, j int, snapshot, final State, rnd *rng.Stream) []State {
+func (rt *run) genOrigStates(ex Exec, p Program, j int, snapshot, final State, rnd *rng.Stream) []State {
 	tag := fmt.Sprintf("%s-r%d", rt.prog.Name(), j)
 	t0 := rt.now()
-	origs := OriginalStates(ex, rt.prog, rt.pool, tag, rt.window(j), snapshot, final,
+	origs := OriginalStates(ex, p, rt.pool, tag, rt.window(j), snapshot, final,
 		rt.cfg.ExtraStates, rnd, rt.countThread, rt.countState)
 	rt.emit(Event{Kind: EvOrigStates, Chunk: j, Worker: j,
 		N: len(origs) - 1, M: len(rt.window(j)), Start: t0, Dur: rt.since(t0)})

@@ -23,6 +23,12 @@ func (p *Pipeline) commit() {
 	defer p.stages.Done()
 	defer p.emit(Event{Kind: EvSessionEnd, Chunk: -1, Worker: -1})
 	defer close(p.out)
+	defer func() {
+		if r := recover(); r != nil {
+			p.fail(&FaultError{Fault: &ChunkFault{
+				Chunk: -1, Site: SiteCommit, Panic: r, Stack: stack()}})
+		}
+	}()
 
 	pending := map[int]*result{}
 	next := 0
@@ -61,33 +67,49 @@ func (p *Pipeline) commit() {
 }
 
 // commitOne validates, commits or recovers one chunk at the frontier and
-// emits its outputs. It returns false if the context was canceled.
+// emits its outputs. A result whose worker exhausted its retry budget is
+// degraded here: the chunk abandons its (dead) speculation and re-executes
+// sequentially from the last committed state, exactly like a
+// mispeculation abort. commitOne returns false if the context was
+// canceled or the session failed terminally.
 func (p *Pipeline) commitOne(r *result, prev *committed) bool {
 	j := r.job.index
-	ok := true
+	ok := r.fault == nil
 	if j > 0 {
-		t0 := time.Now()
-		var inspected int
-		ok, inspected = matchAnyN(p.ex, p.prog, prev.origs, r.spec)
-		p.emit(Event{Kind: EvValidated, Chunk: j, Worker: -1,
-			N: inspected, Matched: ok, Start: t0, Dur: time.Since(t0)})
-		// The boundary is validated either way: the predecessor's replica
+		if r.fault == nil {
+			t0 := time.Now()
+			var inspected int
+			ok, inspected = matchAnyN(p.ex, p.prog, prev.origs, r.spec)
+			p.emit(Event{Kind: EvValidated, Chunk: j, Worker: -1,
+				N: inspected, Matched: ok, Start: t0, Dur: time.Since(t0)})
+		}
+		// The boundary is resolved either way: the predecessor's replica
 		// originals and this chunk's published speculative copy are dead.
 		// prev.origs[0] stays live — it is prev.final, the recovery state.
+		// (A faulted result was scrapped worker-side; its spec is nil.)
 		p.pool.ReleaseReplicas(prev.origs)
 		p.pool.Release(r.spec)
 	}
 	outs, final, origs := r.outs, r.final, r.origs
 	if !ok {
 		p.aborts.Add(1)
+		if r.fault != nil {
+			p.degraded.Add(1)
+			p.emit(Event{Kind: EvDegraded, Chunk: j, Worker: -1, N: r.fault.Attempt})
+		}
 		p.emit(Event{Kind: EvAborted, Chunk: j, Worker: -1})
 		// The speculative run's states — its final (origs[0]) and its
 		// replicas — are dead; retire them before recovery
-		// re-materializes the set.
+		// re-materializes the set. (Faulted results carry none.)
 		for _, o := range r.origs {
 			p.pool.Release(o)
 		}
-		outs, final, origs = p.reexec(r, prev.final)
+		var fault *ChunkFault
+		outs, final, origs, fault = p.reexecProtected(r, prev.final)
+		if fault != nil {
+			p.fail(&FaultError{Fault: fault})
+			return false
+		}
 	} else {
 		p.commits.Add(1)
 		p.emit(Event{Kind: EvCommitted, Chunk: j, Worker: -1})
@@ -122,22 +144,64 @@ func (p *Pipeline) commitOne(r *result, prev *committed) bool {
 	return true
 }
 
-// reexec recovers a mispeculated chunk (§III-E): it re-runs the chunk in
-// place from the true state the committed predecessor produced, then
+// reexecProtected wraps recovery re-execution in the same fault
+// isolation and retry/backoff discipline as speculative attempts. It is
+// the last rung of the degradation ladder: if every re-execution attempt
+// faults too, the session fails with a structured FaultError (the caller
+// stops the pipeline; the process survives).
+func (p *Pipeline) reexecProtected(r *result, trueFinal State) ([]Output, State, []State, *ChunkFault) {
+	j := r.job.index
+	for attempt := 0; ; attempt++ {
+		var outs []Output
+		var final State
+		var origs []State
+		site := SiteReexec
+		fault := runProtected(j, attempt, &site, func() {
+			outs, final, origs = p.reexecOnce(r, trueFinal, attempt)
+		})
+		if fault == nil {
+			return outs, final, origs, nil
+		}
+		p.faults.Add(1)
+		p.emit(Event{Kind: EvFault, Chunk: j, Worker: -1, N: attempt, M: int(fault.Site)})
+		if attempt >= p.pol.MaxRetries {
+			return nil, nil, nil, fault
+		}
+		d := p.pol.backoff(attempt, p.workerRng(j).Derive("faultbackoff"))
+		p.retries.Add(1)
+		p.emit(Event{Kind: EvRetry, Chunk: j, Worker: -1, N: attempt + 1, Dur: d})
+		if !sleepCtx(p.ctx, d) {
+			return nil, nil, nil, fault
+		}
+	}
+}
+
+// reexecOnce recovers a mispeculated or faulted chunk (§III-E): it
+// re-runs the chunk in place from the true state the committed
+// predecessor produced (for chunk 0, a rebuilt initial state), then
 // regenerates the original states the successor will be validated
 // against. Recovery runs at the commit frontier, serializing the pipeline
 // for the chunk's length — that serialization is exactly the
 // mispeculation cost the paper's loss decomposition charges.
-func (p *Pipeline) reexec(r *result, trueFinal State) ([]Output, State, []State) {
+func (p *Pipeline) reexecOnce(r *result, trueFinal State, attempt int) ([]Output, State, []State) {
 	t0 := time.Now()
-	prog := p.prog
+	prog := guardProgram(p.prog, p.pol.ChunkDeadline)
 	j := r.job.index
 	myRng := p.workerRng(j)
 	jit := myRng.Derive("jitter")
 	g := NewGang(p.ex, fmt.Sprintf("%s-x%d", prog.Name(), j), p.cfg.InnerWidth, p.countThread)
 	defer g.Close(p.ex)
 
-	s2 := p.pool.Clone(trueFinal)
+	injectAt(p.inj, SiteReexec, j, attempt, nil)
+	var s2 State
+	if trueFinal != nil {
+		s2 = p.pool.Clone(trueFinal)
+	} else {
+		// Chunk 0 has no committed predecessor: its true start state is the
+		// program's initial state, rebuilt from the same derivation the
+		// dispatcher used.
+		s2 = p.prog.Initial(p.root.Derive("init"))
+	}
 	p.countState()
 	win := p.chunkWindow(r.job.inputs)
 	snapAt := len(r.job.inputs) - len(win)

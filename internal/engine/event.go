@@ -64,6 +64,16 @@ const (
 	EvReexec
 	// EvOutputs records N committed outputs emitted in input order.
 	EvOutputs
+	// EvFault records a fault isolated on chunk Chunk: a panic or missed
+	// deadline at protocol site M (a FaultSite) during attempt N.
+	EvFault
+	// EvRetry records a faulted chunk being re-attempted: N is the next
+	// attempt index, Dur the backoff delay before it.
+	EvRetry
+	// EvDegraded records a chunk whose worker-side retries exhausted being
+	// degraded to sequential re-execution from the last committed state;
+	// N is the attempt index the degraded run executes as.
+	EvDegraded
 
 	numKinds
 )
@@ -86,6 +96,9 @@ var kindNames = [numKinds]string{
 	EvAborted:       "aborted",
 	EvReexec:        "reexec",
 	EvOutputs:       "outputs",
+	EvFault:         "fault",
+	EvRetry:         "retry",
+	EvDegraded:      "degraded",
 }
 
 // String returns the kind's event-stream name.
@@ -162,6 +175,7 @@ type Counters struct {
 	origReplicas, origUpdates           atomic.Int64
 	specCopies, snapshots               atomic.Int64
 	compares, reexecRuns, reexecUpdates atomic.Int64
+	faults, retries, degraded           atomic.Int64
 }
 
 // Event implements Sink.
@@ -197,6 +211,12 @@ func (c *Counters) Event(e Event) {
 		c.reexecUpdates.Add(int64(e.N))
 	case EvOutputs:
 		c.emitted.Add(int64(e.N))
+	case EvFault:
+		c.faults.Add(1)
+	case EvRetry:
+		c.retries.Add(1)
+	case EvDegraded:
+		c.degraded.Add(1)
 	}
 }
 
@@ -219,6 +239,10 @@ type CounterSnapshot struct {
 	Compares      int64 // state comparisons charged
 	ReexecRuns    int64 // mispeculation recoveries (each one recovery copy)
 	ReexecUpdates int64 // inputs re-executed during recovery
+
+	Faults   int64 // chunk faults isolated (panics, missed deadlines)
+	Retries  int64 // faulted attempts retried after backoff
+	Degraded int64 // chunks degraded to sequential re-execution
 }
 
 // Snapshot returns the totals at this instant.
@@ -240,6 +264,9 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		Compares:      c.compares.Load(),
 		ReexecRuns:    c.reexecRuns.Load(),
 		ReexecUpdates: c.reexecUpdates.Load(),
+		Faults:        c.faults.Load(),
+		Retries:       c.retries.Load(),
+		Degraded:      c.degraded.Load(),
 	}
 }
 

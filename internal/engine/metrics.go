@@ -109,6 +109,9 @@ type Metrics struct {
 	Active    atomic.Int64 // scheduler runs currently executing
 	InFlight  atomic.Int64 // chunks currently speculating
 	ChunkSize atomic.Int64 // most recent chunk size chosen
+	Faults    atomic.Int64 // chunk faults isolated (panics, missed deadlines)
+	Retries   atomic.Int64 // faulted attempts retried after backoff
+	Degraded  atomic.Int64 // chunks degraded to sequential re-execution
 }
 
 // NewMetrics returns an empty collector.
@@ -151,6 +154,12 @@ func (m *Metrics) Event(e Event) {
 		m.Outputs.Add(int64(e.N))
 		m.Observe(StageCommit, e.Dur)
 		m.InFlight.Add(-1)
+	case EvFault:
+		m.Faults.Add(1)
+	case EvRetry:
+		m.Retries.Add(1)
+	case EvDegraded:
+		m.Degraded.Add(1)
 	}
 }
 
@@ -186,6 +195,8 @@ func (m *Metrics) WriteText(w io.Writer) error {
 		{"aborts", &m.Aborts}, {"resizes", &m.Resizes},
 		{"sessions", &m.Sessions}, {"active_sessions", &m.Active},
 		{"inflight_chunks", &m.InFlight}, {"chunk_size", &m.ChunkSize},
+		{"faults", &m.Faults}, {"retries", &m.Retries},
+		{"degraded_chunks", &m.Degraded},
 	}
 	sort.SliceStable(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
 	for _, c := range counters {

@@ -91,6 +91,9 @@ type StreamConfig struct {
 	// MinChunk and MaxChunk bound adaptive sizing (defaults: max(1,
 	// ChunkSize/4) and 4*ChunkSize).
 	MinChunk, MaxChunk int
+	// Fault configures panic isolation, per-chunk deadlines, and
+	// retry/backoff; the zero value enables isolation with defaults.
+	Fault FaultPolicy
 	// Metrics receives binned stage latencies and counters, rendered from
 	// the engine event stream. Multiple pipelines may share one collector;
 	// nil allocates a private one.
@@ -145,7 +148,7 @@ func (c StreamConfig) Validate() error {
 			return fmt.Errorf("stream: Plan[%d] must be >= 1, got %d", i, n)
 		}
 	}
-	return nil
+	return c.Fault.validate("stream")
 }
 
 // StreamStats summarizes one pipeline run.
@@ -159,6 +162,10 @@ type StreamStats struct {
 	States  int64 // computational states materialized
 	Reused  int64 // state clones served from retired buffers (StatePool)
 	Threads int64 // goroutine contexts spawned by the protocol
+
+	Faults   int64 // chunk faults isolated (panics, missed deadlines)
+	Retries  int64 // faulted attempts retried after backoff
+	Degraded int64 // chunks degraded to sequential frontier re-execution
 }
 
 // ErrClosed is returned by Push after Close.
@@ -174,13 +181,16 @@ type job struct {
 
 // result is a worker's speculative execution of one chunk. The snapshot
 // the worker took is not carried: it is consumed by original-state
-// generation and retired worker-side.
+// generation and retired worker-side. A result whose worker exhausted its
+// retry budget carries only the fault; the commit frontier degrades it to
+// an in-place sequential re-execution.
 type result struct {
 	job   *job
 	spec  State // speculative start state (clone), nil for chunk 0
 	outs  []Output
 	final State
 	origs []State
+	fault *ChunkFault // retries exhausted; all other fields are dead
 }
 
 // Pipeline is a running streaming STATS execution. Create with NewStream,
@@ -188,11 +198,15 @@ type result struct {
 // Wait. StreamScheduler drives a Pipeline over a bounded slice through
 // the Scheduler interface.
 type Pipeline struct {
-	cfg  StreamConfig
-	prog Program
-	ex   Exec
-	root *rng.Stream
-	ctx  context.Context
+	cfg    StreamConfig
+	prog   Program
+	ex     Exec
+	root   *rng.Stream
+	ctx    context.Context // derived: canceled by the caller, a fault, or teardown
+	outer  context.Context // the caller's context, for abandonment reporting
+	cancel context.CancelFunc
+	inj    Injector    // prog's fault injector, if it carries one
+	pol    FaultPolicy // normalized fault policy
 
 	in       chan Input
 	jobs     chan *job
@@ -200,23 +214,28 @@ type Pipeline struct {
 	outcomes chan bool
 	out      chan Output
 
-	ctl    *autotune.Online
-	met    *Metrics
-	sink   Sink // met plus cfg.Sink: the engine event stream
-	pool   *StatePool
-	slabs  slabs
-	closed atomic.Bool
-	stages sync.WaitGroup // the pipeline's stage goroutines
-	all    sync.WaitGroup // stages + the teardown janitor
+	ctl      *autotune.Online
+	met      *Metrics
+	sink     Sink // met plus cfg.Sink: the engine event stream
+	pool     *StatePool
+	slabs    slabs
+	closed   atomic.Bool
+	failOnce sync.Once
+	failure  atomic.Value   // error: the terminal fault that tore the run down
+	stages   sync.WaitGroup // the pipeline's stage goroutines
+	all      sync.WaitGroup // stages + the teardown janitor
 
-	inputs  atomic.Int64
-	outputs atomic.Int64
-	chunks  atomic.Int64
-	commits atomic.Int64
-	aborts  atomic.Int64
-	resizes atomic.Int64 // mirror of ctl.Resizes (ctl is assembler-owned)
-	states  atomic.Int64
-	threads atomic.Int64
+	inputs   atomic.Int64
+	outputs  atomic.Int64
+	chunks   atomic.Int64
+	commits  atomic.Int64
+	aborts   atomic.Int64
+	resizes  atomic.Int64 // mirror of ctl.Resizes (ctl is assembler-owned)
+	states   atomic.Int64
+	threads  atomic.Int64
+	faults   atomic.Int64
+	retries  atomic.Int64
+	degraded atomic.Int64
 }
 
 // NewStream starts a pipeline for prog. The context governs the whole
@@ -227,6 +246,13 @@ func NewStream(ctx context.Context, prog Program, cfg StreamConfig) (*Pipeline, 
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// The pipeline owns a derived context so a terminal fault can tear the
+	// stages down itself, not only the caller.
+	outer := ctx
+	ctx, cancel := context.WithCancel(outer)
 
 	var ctl *autotune.Online
 	if cfg.Adapt {
@@ -237,18 +263,22 @@ func NewStream(ctx context.Context, prog Program, cfg StreamConfig) (*Pipeline, 
 			Max:     cfg.MaxChunk,
 		})
 		if err != nil {
+			cancel()
 			return nil, err
 		}
 	}
 
 	p := &Pipeline{
-		cfg:  cfg,
-		prog: prog,
-		ex:   NewNativeExec(),
-		root: rng.New(cfg.Seed).Derive("stats:" + prog.Name()),
-		ctx:  ctx,
-		in:   make(chan Input, cfg.QueueDepth),
-		jobs: make(chan *job),
+		cfg:    cfg,
+		prog:   prog,
+		ex:     NewNativeExec(),
+		root:   rng.New(cfg.Seed).Derive("stats:" + prog.Name()),
+		ctx:    ctx,
+		outer:  outer,
+		cancel: cancel,
+		pol:    cfg.Fault.normalized(),
+		in:     make(chan Input, cfg.QueueDepth),
+		jobs:   make(chan *job),
 		// results holds one slot per in-flight chunk so workers never
 		// block behind the commit stage's reorder buffer.
 		results: make(chan *result, cfg.Workers+1),
@@ -264,6 +294,7 @@ func NewStream(ctx context.Context, prog Program, cfg StreamConfig) (*Pipeline, 
 		sink:     combineSinks(cfg.Metrics, cfg.Sink),
 		pool:     NewStatePool(prog),
 	}
+	p.inj, _ = prog.(Injector)
 	p.slabs.limit = 2*cfg.Workers + 4
 	p.emit(Event{Kind: EvSessionStart, Chunk: -1, Worker: -1, N: cfg.ChunkSize})
 
@@ -297,6 +328,7 @@ func NewStream(ctx context.Context, prog Program, cfg StreamConfig) (*Pipeline, 
 	p.all.Add(1)
 	go func() {
 		defer p.all.Done()
+		defer p.cancel() // every stage has exited; release the context
 		p.stages.Wait()
 		if dropped := p.chunks.Load() - p.commits.Load() - p.aborts.Load(); dropped > 0 {
 			p.met.InFlight.Add(-dropped)
@@ -307,6 +339,23 @@ func NewStream(ctx context.Context, prog Program, cfg StreamConfig) (*Pipeline, 
 
 // emit delivers one engine event to the pipeline's sinks.
 func (p *Pipeline) emit(e Event) { p.sink.Event(e) }
+
+// fail records the run's terminal error (first one wins) and cancels the
+// pipeline context, tearing every stage down promptly.
+func (p *Pipeline) fail(err error) {
+	p.failOnce.Do(func() {
+		p.failure.Store(err)
+		p.cancel()
+	})
+}
+
+// failErr returns the terminal error recorded by fail, or nil.
+func (p *Pipeline) failErr() error {
+	if err, ok := p.failure.Load().(error); ok {
+		return err
+	}
+	return nil
+}
 
 // Push ingests one input, blocking while the pipeline exerts backpressure
 // (ingest queue full because the speculation window is full). ctx bounds
@@ -334,6 +383,9 @@ func (p *Pipeline) Push(ctx context.Context, in Input) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	case <-p.ctx.Done():
+		if err := p.failErr(); err != nil {
+			return err
+		}
 		return p.ctx.Err()
 	}
 }
@@ -353,11 +405,17 @@ func (p *Pipeline) Close() {
 func (p *Pipeline) Outputs() <-chan Output { return p.out }
 
 // Wait blocks until every pipeline goroutine has exited and returns the
-// run's statistics, plus the context's error if the run was abandoned
-// rather than drained.
+// run's statistics, plus the terminal error if the run failed (a
+// FaultError after fault tolerance exhausted) or the context's error if
+// it was abandoned rather than drained.
 func (p *Pipeline) Wait() (StreamStats, error) {
 	p.all.Wait()
-	return p.StatsSnapshot(), p.ctx.Err()
+	if err := p.failErr(); err != nil {
+		return p.StatsSnapshot(), err
+	}
+	// The janitor cancels the derived context even on clean drains; only
+	// the caller's context says whether the run was abandoned.
+	return p.StatsSnapshot(), p.outer.Err()
 }
 
 // StatsSnapshot returns the pipeline's counters at this instant; it may
@@ -373,6 +431,10 @@ func (p *Pipeline) StatsSnapshot() StreamStats {
 		States:  p.states.Load(),
 		Reused:  p.pool.Stats().Reused,
 		Threads: p.threads.Load(),
+
+		Faults:   p.faults.Load(),
+		Retries:  p.retries.Load(),
+		Degraded: p.degraded.Load(),
 	}
 }
 

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"gostats/internal/rng"
 	"gostats/internal/trace"
@@ -90,10 +91,20 @@ func OriginalStates(ex Exec, p Program, pool *StatePool, tag string, window []In
 	results := make([]State, extra)
 	handles := make([]Handle, extra)
 	myLoc := ex.Loc()
+	// A panic on a replica thread cannot unwind into the owning worker's
+	// recover; capture the first one here and re-raise it on the worker
+	// after the joins, so the protocol's thread structure (spawn/join
+	// pairing on both substrates) is undisturbed by the fault.
+	var rf atomic.Pointer[replicaFault]
 	for i := 0; i < extra; i++ {
 		i := i
 		rr := rnd.DeriveN("replica", i)
 		handles[i] = ex.Spawn(fmt.Sprintf("%s.%d", tag, i), func(re Exec) {
+			defer func() {
+				if r := recover(); r != nil {
+					rf.CompareAndSwap(nil, &replicaFault{val: r, stack: stack()})
+				}
+			}()
 			re.SetCat(trace.CatOrigStates)
 			sr := cloneVia(pool, p, snapshot)
 			if onState != nil {
@@ -115,6 +126,9 @@ func OriginalStates(ex Exec, p Program, pool *StatePool, tag string, window []In
 	}
 	for _, h := range handles {
 		ex.Join(h)
+	}
+	if f := rf.Load(); f != nil {
+		panic(f)
 	}
 	return append(origs, results...)
 }

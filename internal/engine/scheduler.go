@@ -95,6 +95,7 @@ func (s *StreamScheduler) RunSlice(p Program, inputs []Input, cfg Config) (*Repo
 		Workers:     s.Workers,
 		Seed:        cfg.Seed,
 		Plan:        plan,
+		Fault:       cfg.Fault,
 		Metrics:     s.Metrics,
 		Sink:        s.Sink,
 	}
@@ -179,6 +180,7 @@ func RunAdaptive(ctx context.Context, p Program, inputs []Input, cfg Config, wor
 		Workers:     workers,
 		Seed:        cfg.Seed,
 		Adapt:       true,
+		Fault:       cfg.Fault,
 		Sink:        sink,
 	}
 	return runStream(ctx, p, inputs, scfg)
@@ -211,11 +213,13 @@ func runStream(ctx context.Context, p Program, inputs []Input, scfg StreamConfig
 	pl.Close()
 	<-done
 	stats, waitErr := pl.Wait()
-	if pushErr != nil {
-		return nil, pushErr
-	}
+	// A terminal session failure (e.g. FaultError) surfaces through Wait
+	// and also aborts in-flight Pushes; prefer the root cause.
 	if waitErr != nil {
 		return nil, waitErr
+	}
+	if pushErr != nil {
+		return nil, pushErr
 	}
 	return &Report{
 		Outputs:        outs,

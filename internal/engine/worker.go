@@ -31,11 +31,68 @@ func (p *Pipeline) worker(slotID int) {
 	}
 }
 
-// speculate runs the worker-side protocol for one chunk, mirroring the
-// batch worker exactly — same primitives, same RNG derivations keyed by
-// the chunk index — so the committed output sequence depends only on
-// (seed, inputs, chunk boundaries), not on which pool worker ran it or
-// when:
+// speculate runs the worker-side protocol for one chunk with fault
+// isolation: a panic or missed deadline inside the attempt becomes a
+// chunk fault, retried with backoff up to the policy's budget. A
+// successful attempt re-derives exactly the RNG substreams the first one
+// did, so its result is byte-identical no matter how many faulted
+// attempts preceded it. When the budget exhausts, the returned result
+// carries only the fault; the commit frontier degrades the chunk to
+// sequential re-execution from the last committed state.
+func (p *Pipeline) speculate(jb *job, slotID int) *result {
+	j := jb.index
+	for attempt := 0; ; attempt++ {
+		res, fault := p.attemptSpeculate(jb, slotID, attempt)
+		if fault == nil {
+			return res
+		}
+		p.faults.Add(1)
+		p.emit(Event{Kind: EvFault, Chunk: j, Worker: slotID, N: attempt, M: int(fault.Site)})
+		p.scrap(res)
+		if attempt >= p.pol.MaxRetries {
+			return &result{job: jb, fault: fault}
+		}
+		d := p.pol.backoff(attempt, p.workerRng(j).Derive("faultbackoff"))
+		p.retries.Add(1)
+		p.emit(Event{Kind: EvRetry, Chunk: j, Worker: slotID, N: attempt + 1, Dur: d})
+		if !sleepCtx(p.ctx, d) {
+			return &result{job: jb, fault: fault}
+		}
+	}
+}
+
+// attemptSpeculate runs one protected execution attempt of the
+// worker-side protocol. The returned result is partially filled when the
+// attempt faulted; the caller scraps it.
+func (p *Pipeline) attemptSpeculate(jb *job, slotID, attempt int) (*result, *ChunkFault) {
+	res := &result{job: jb}
+	site := SiteAltProducer
+	fault := runProtected(jb.index, attempt, &site, func() {
+		p.speculateOnce(res, slotID, attempt, &site)
+	})
+	return res, fault
+}
+
+// scrap retires the states a faulted attempt materialized before it
+// failed. States lost mid-phase (a snapshot, a half-built replica) are
+// left to the garbage collector — correctness never depends on the pool.
+func (p *Pipeline) scrap(res *result) {
+	p.pool.Release(res.spec)
+	if res.origs != nil {
+		for _, o := range res.origs {
+			p.pool.Release(o)
+		}
+	} else {
+		p.pool.Release(res.final)
+	}
+	res.spec, res.outs, res.final, res.origs = nil, nil, nil, nil
+}
+
+// speculateOnce is one execution attempt of the worker-side protocol,
+// mirroring the batch worker exactly — same primitives, same RNG
+// derivations keyed by the chunk index — so the committed output sequence
+// depends only on (seed, inputs, chunk boundaries), not on which pool
+// worker ran it or when:
 //
 //  1. the alternative producer replays the predecessor's lookback window
 //     from a cold state (chunk 0 instead starts from the initial state),
@@ -47,22 +104,36 @@ func (p *Pipeline) worker(slotID int) {
 // Unlike the batch worker, a streaming chunk never knows it is last, so
 // original states are always generated; for a session's final chunk they
 // go unused.
-func (p *Pipeline) speculate(jb *job, slotID int) *result {
+//
+// site tracks which protocol phase is executing so a fault is attributed
+// to the right place; the injector (if any) is consulted at each phase.
+func (p *Pipeline) speculateOnce(res *result, slotID, attempt int, site *FaultSite) {
 	t0 := time.Now()
-	prog := p.prog
+	prog := guardProgram(p.prog, p.pol.ChunkDeadline)
+	jb := res.job
 	j := jb.index
 	myRng := p.workerRng(j)
 	jit := myRng.Derive("jitter")
 	g := NewGang(p.ex, fmt.Sprintf("%s-w%d", prog.Name(), j), p.cfg.InnerWidth, p.countThread)
 	defer g.Close(p.ex)
 
-	res := &result{job: jb}
 	var s State
 	if j == 0 {
+		injectAt(p.inj, SiteAltProducer, j, attempt, nil)
 		s = jb.initial
+		if attempt > 0 {
+			// The faulted attempt consumed (and may have corrupted) the
+			// dispatched initial state; rebuild it from the same derivation.
+			s = p.prog.Initial(p.root.Derive("init"))
+			p.countState()
+		}
 	} else {
 		tAlt := time.Now()
 		s = SpeculativeState(p.ex, prog, jb.prevWindow, myRng, p.countState)
+		// The injector sees the produced state before it is published: a
+		// corrupted speculative state poisons the published copy and the
+		// body run together, so boundary validation catches it.
+		s = injectAt(p.inj, SiteAltProducer, j, attempt, s)
 		p.emit(Event{Kind: EvAltProduced, Chunk: j, Worker: slotID,
 			N: len(jb.prevWindow), Start: tAlt, Dur: time.Since(tAlt)})
 		tPub := time.Now()
@@ -72,6 +143,8 @@ func (p *Pipeline) speculate(jb *job, slotID int) *result {
 			Start: tPub, Dur: time.Since(tPub)})
 	}
 
+	*site = SiteBody
+	s = injectAt(p.inj, SiteBody, j, attempt, s)
 	win := p.chunkWindow(jb.inputs)
 	snapAt := len(jb.inputs) - len(win)
 	var snapshot State
@@ -84,6 +157,8 @@ func (p *Pipeline) speculate(jb *job, slotID int) *result {
 	if snapshot != nil {
 		p.emit(Event{Kind: EvSnapshot, Chunk: j, Worker: slotID})
 	}
+	*site = SiteOrigStates
+	injectAt(p.inj, SiteOrigStates, j, attempt, nil)
 	tOrig := time.Now()
 	res.origs = OriginalStates(p.ex, prog, p.pool, fmt.Sprintf("%s-r%d", prog.Name(), j),
 		win, snapshot, res.final, p.cfg.ExtraStates, myRng, p.countThread, p.countState)
@@ -94,5 +169,4 @@ func (p *Pipeline) speculate(jb *job, slotID int) *result {
 
 	p.emit(Event{Kind: EvSpeculated, Chunk: j, Worker: slotID,
 		N: len(jb.inputs), Start: t0, Dur: time.Since(t0)})
-	return res
 }

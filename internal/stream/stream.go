@@ -28,6 +28,9 @@ type (
 	Metrics = engine.Metrics
 	// Stage identifies an instrumented pipeline stage.
 	Stage = engine.Stage
+	// FaultPolicy configures panic isolation, per-chunk deadlines, and
+	// retry/backoff for a pipeline (Config.Fault).
+	FaultPolicy = engine.FaultPolicy
 )
 
 // Pipeline stages, re-exported for metric consumers.
