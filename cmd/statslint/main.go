@@ -1,0 +1,116 @@
+// Command statslint runs the statslint analyzer suite — the static
+// enforcement of the STATS determinism and protocol contracts — over Go
+// package patterns, go vet style:
+//
+//	go run ./cmd/statslint ./...
+//	go run ./cmd/statslint -json ./... > findings.json
+//
+// Exit status: 0 when the tree is clean, 1 when any diagnostic was
+// reported, 2 on usage or load errors. The -json mode emits one
+// machine-readable array of {analyzer, file, line, col, message}
+// objects (sorted by position) so CI and tooling can diff findings
+// between commits.
+//
+// Intentional nondeterminism is waived in source with
+// //statslint:allow [analyzer] <reason>; see internal/lint.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+
+	"gostats/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON diagnostics on stdout")
+	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+	flag.Usage = usage
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		wanted := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(name)] = true
+		}
+		var subset []*lint.Analyzer
+		for _, a := range analyzers {
+			if wanted[a.Name] {
+				subset = append(subset, a)
+				delete(wanted, a.Name)
+			}
+		}
+		if len(wanted) > 0 {
+			fmt.Fprintf(os.Stderr, "statslint: unknown analyzers in -analyzers: %v\n", keys(wanted))
+			return 2
+		}
+		analyzers = subset
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "statslint: %v\n", err)
+		return 2
+	}
+	fset := token.NewFileSet()
+	pkgs, err := lint.LoadPackages(cwd, patterns, fset)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "statslint: %v\n", err)
+		return 2
+	}
+	diags, err := lint.Run(lint.DefaultConfig(), fset, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "statslint: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "statslint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "statslint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: statslint [-json] [-analyzers a,b] [packages...]\n\nAnalyzers:\n")
+	for _, a := range lint.Analyzers() {
+		fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+	}
+	flag.PrintDefaults()
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

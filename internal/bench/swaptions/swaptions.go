@@ -20,6 +20,7 @@ package swaptions
 
 import (
 	"math"
+	"sort"
 
 	"gostats/internal/bench"
 	"gostats/internal/core"
@@ -342,9 +343,18 @@ func (s *Swaptions) Quality(outputs []core.Output) float64 {
 	if len(final) == 0 {
 		return math.Inf(-1)
 	}
+	// Accumulate in sorted swaption order: float addition is not
+	// associative, so map-iteration order would leak into the reported
+	// quality figure (statslint:detpath caught this).
+	sws := make([]int, 0, len(final))
+	//statslint:allow detpath keys are sorted below before any order-sensitive use
+	for sw := range final {
+		sws = append(sws, sw)
+	}
+	sort.Ints(sws)
 	var errSum float64
-	for sw, est := range final {
-		errSum += math.Abs(est - s.TruePrice(sw))
+	for _, sw := range sws {
+		errSum += math.Abs(final[sw] - s.TruePrice(sw))
 	}
 	return -errSum / float64(len(final))
 }

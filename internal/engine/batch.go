@@ -176,6 +176,7 @@ func (rt *run) now() time.Time {
 	if rt.sink == nil {
 		return time.Time{}
 	}
+	//statslint:allow detpath instrumentation helper: value only feeds Event timing via since()
 	return time.Now()
 }
 
@@ -184,6 +185,7 @@ func (rt *run) since(t0 time.Time) time.Duration {
 	if rt.sink == nil || t0.IsZero() {
 		return 0
 	}
+	//statslint:allow detpath instrumentation helper: durations land in Event fields, never in outputs
 	return time.Since(t0)
 }
 
@@ -250,7 +252,7 @@ func (rt *run) worker(ex Exec, j int, start State) {
 			specFault = fault
 			break
 		}
-		d := rt.pol.backoff(attempt, myRng.Derive("faultbackoff"))
+		d := rt.pol.backoff(attempt, myRng)
 		rt.emit(Event{Kind: EvRetry, Chunk: j, Worker: j, N: attempt + 1, Dur: d})
 		time.Sleep(d)
 	}
@@ -325,7 +327,7 @@ func (rt *run) worker(ex Exec, j int, start State) {
 				rexFault = fault
 				break
 			}
-			d := rt.pol.backoff(attempt, myRng.Derive("faultbackoff"))
+			d := rt.pol.backoff(attempt, myRng)
 			rt.emit(Event{Kind: EvRetry, Chunk: j, Worker: j, N: attempt + 1, Dur: d})
 			time.Sleep(d)
 		}

@@ -167,7 +167,7 @@ func (p *Pipeline) reexecProtected(r *result, trueFinal State) ([]Output, State,
 		if attempt >= p.pol.MaxRetries {
 			return nil, nil, nil, fault
 		}
-		d := p.pol.backoff(attempt, p.workerRng(j).Derive("faultbackoff"))
+		d := p.pol.backoff(attempt, p.workerRng(j))
 		p.retries.Add(1)
 		p.emit(Event{Kind: EvRetry, Chunk: j, Worker: -1, N: attempt + 1, Dur: d})
 		if !sleepCtx(p.ctx, d) {

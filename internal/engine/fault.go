@@ -85,10 +85,14 @@ func (f FaultPolicy) validate(scope string) error {
 }
 
 // backoff returns the delay before re-attempt attempt+1: exponential in
-// the attempt index, jittered ±50% from the deterministic stream jit,
-// capped at RetryMax. (Deterministic jitter keeps a whole run a pure
-// function of its seed, faulted attempts included.)
-func (f FaultPolicy) backoff(attempt int, jit *rng.Stream) time.Duration {
+// the attempt index, jittered ±50%, capped at RetryMax. The jitter
+// draw comes from a stream derived from parent with the attempt index
+// folded into the label, so consecutive retries of one chunk get
+// independent jitter (deriving the same label fresh each attempt would
+// replay the same first draw every time) while a recorded fault plan
+// still replays every delay bit for bit: the whole schedule is a pure
+// function of (seed, chunk, attempt).
+func (f FaultPolicy) backoff(attempt int, parent *rng.Stream) time.Duration {
 	d := f.RetryBase
 	for i := 0; i < attempt && d < f.RetryMax; i++ {
 		d *= 2
@@ -97,6 +101,7 @@ func (f FaultPolicy) backoff(attempt int, jit *rng.Stream) time.Duration {
 		d = f.RetryMax
 	}
 	// Jitter into [d/2, 3d/2), then re-cap.
+	jit := parent.DeriveN("faultbackoff", attempt)
 	d = d/2 + time.Duration(jit.Float64()*float64(d))
 	if d > f.RetryMax {
 		d = f.RetryMax
@@ -253,6 +258,7 @@ type deadlineProgram struct {
 }
 
 func (d *deadlineProgram) Update(s State, in Input, r *rng.Stream) (State, Output) {
+	//statslint:allow detpath deadline guard is intentionally wall-clock; overruns become faults whose recovery preserves committed outputs
 	if time.Now().After(d.deadline) {
 		panic(deadlineExceeded{})
 	}
@@ -266,6 +272,7 @@ func guardProgram(p Program, deadline time.Duration) Program {
 	if deadline <= 0 {
 		return p
 	}
+	//statslint:allow detpath arming the wall-clock attempt deadline; see deadlineProgram.Update
 	return &deadlineProgram{Program: p, deadline: time.Now().Add(deadline)}
 }
 
@@ -278,6 +285,7 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 	if d <= 0 {
 		return true
 	}
+	//statslint:allow detpath backoff sleep timer: no timer value reaches committed outputs
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

@@ -52,7 +52,7 @@ func (p *Pipeline) speculate(jb *job, slotID int) *result {
 		if attempt >= p.pol.MaxRetries {
 			return &result{job: jb, fault: fault}
 		}
-		d := p.pol.backoff(attempt, p.workerRng(j).Derive("faultbackoff"))
+		d := p.pol.backoff(attempt, p.workerRng(j))
 		p.retries.Add(1)
 		p.emit(Event{Kind: EvRetry, Chunk: j, Worker: slotID, N: attempt + 1, Dur: d})
 		if !sleepCtx(p.ctx, d) {

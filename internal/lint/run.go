@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Run executes every analyzer over every package, applies the
+// //statslint:allow suppression index, and returns the surviving
+// diagnostics sorted by file, line, column, and analyzer. cfg nil means
+// DefaultConfig.
+func Run(cfg *Config, fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	idx, bad := buildAllowIndex(fset, pkgs, known)
+
+	var diags []Diagnostic
+	diags = append(diags, bad...)
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, Config: cfg}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range pass.diags {
+				if !idx.suppressed(d) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

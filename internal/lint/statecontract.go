@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// StateContract checks Program/State implementations for violations of
+// the state-lifecycle contract the STATS runtime relies on:
+//
+//  1. Clone aliasing — a Clone/CloneInto body that copies a slice- or
+//     map-typed field by reference (dst.F = src.F, T{F: src.F}) or
+//     shallow-copies a whole struct that contains slice/map fields
+//     (c := *src). Two "independent" states then share mutable buffers,
+//     and a speculative lineage can corrupt the committed one.
+//  2. Fingerprint coverage — a Fingerprint/Digest implementation that
+//     reads struct fields Clone never copies. The digest then reflects
+//     state Clone does not preserve, breaking the conservativeness
+//     contract (Match(a,b) ⇒ DigestsMayMatch(fp(a), fp(b))) after a
+//     clone.
+//  3. Shared-state writes in Update — an Update body that assigns to a
+//     package-level variable. Update runs concurrently on speculative
+//     and original lineages; hidden shared state makes its result
+//     depend on scheduling.
+//
+// Soundness: the checks are name-driven (Clone, CloneInto, Fingerprint,
+// Digest, Update) and intra-procedural. A Clone that fully delegates to
+// another package copies no fields locally, so check 2 skips it; writes
+// to shared state through method calls (m.Store(...)) or through
+// pointers passed out of Update are not seen. See DESIGN.md, "Static
+// enforcement".
+var StateContract = &Analyzer{
+	Name: "statecontract",
+	Doc:  "checks Clone/CloneInto deep-copy discipline, Fingerprint field coverage, and Update purity of Program/State implementations",
+	Run:  runStateContract,
+}
+
+// structFacts accumulates what the package's clone and fingerprint
+// methods do to one named struct type.
+type structFacts struct {
+	cloneSeen   bool
+	cloneAll    bool // whole-struct copy: every field is copied
+	cloneFields map[string]bool
+	fpReads     map[string]token.Pos // field -> first read position
+}
+
+func runStateContract(p *Pass) error {
+	facts := map[*types.TypeName]*structFacts{}
+	get := func(tn *types.TypeName) *structFacts {
+		f := facts[tn]
+		if f == nil {
+			f = &structFacts{cloneFields: map[string]bool{}, fpReads: map[string]token.Pos{}}
+			facts[tn] = f
+		}
+		return f
+	}
+
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name := fn.Name.Name
+			switch {
+			case strings.HasPrefix(name, "Clone"):
+				// Clone, CloneInto, and deep-copy helpers (CloneCloudInto).
+				checkCloneBody(p, fn, get)
+			case name == "Fingerprint" || name == "Digest":
+				recordFingerprintReads(p, fn, get)
+			case name == "Update" && fn.Recv != nil:
+				checkUpdatePurity(p, fn)
+			}
+		}
+	}
+
+	// Fingerprint fields must be covered by Clone. Skip structs whose
+	// clone copies no local fields (full delegation) — nothing provable.
+	for _, sf := range facts {
+		if !sf.cloneSeen || sf.cloneAll || len(sf.cloneFields) == 0 {
+			continue
+		}
+		for field, pos := range sf.fpReads {
+			if !sf.cloneFields[field] {
+				p.Reportf(pos, "Fingerprint reads field %q that Clone does not copy; the digest will disagree with Match across clones", field)
+			}
+		}
+	}
+	return nil
+}
+
+// checkCloneBody records which fields a Clone/CloneInto copies and flags
+// reference-aliasing copies.
+func checkCloneBody(p *Pass, fn *ast.FuncDecl, get func(*types.TypeName) *structFacts) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if i < len(n.Rhs) {
+					rhs = unparen(n.Rhs[i])
+				} else if len(n.Rhs) == 1 {
+					rhs = unparen(n.Rhs[0])
+				}
+				// Whole-struct copies: c := *src or *dst = *src.
+				if star, ok := rhs.(*ast.StarExpr); ok {
+					if tn, st := namedStruct(p.TypeOf(star.X)); tn != nil {
+						sf := get(tn)
+						sf.cloneSeen, sf.cloneAll = true, true
+						flagAliasedStructFields(p, star.Pos(), tn, st)
+					}
+				}
+				// Field writes: dst.F = ...
+				sel, ok := unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				field := structField(p, sel)
+				if field == nil {
+					continue
+				}
+				if tn, _ := namedStruct(p.TypeOf(sel.X)); tn != nil {
+					sf := get(tn)
+					sf.cloneSeen = true
+					sf.cloneFields[field.Name()] = true
+				}
+				if refSel, ok := rhs.(*ast.SelectorExpr); ok && structField(p, refSel) != nil && isSliceOrMap(p.TypeOf(refSel)) {
+					p.Reportf(n.Pos(), "Clone aliases %s field %s.%s instead of deep-copying it (use copy/append/maps.Clone); cloned states will share mutable buffers", typeKindName(p.TypeOf(refSel)), exprString(refSel.X), refSel.Sel.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			tn, _ := namedStruct(p.TypeOf(n))
+			if tn == nil {
+				return true
+			}
+			sf := get(tn)
+			sf.cloneSeen = true
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				sf.cloneFields[key.Name] = true
+				v := unparen(kv.Value)
+				if refSel, ok := v.(*ast.SelectorExpr); ok && structField(p, refSel) != nil && isSliceOrMap(p.TypeOf(refSel)) {
+					p.Reportf(kv.Pos(), "Clone aliases %s field %s.%s instead of deep-copying it (use copy/append/maps.Clone); cloned states will share mutable buffers", typeKindName(p.TypeOf(refSel)), exprString(refSel.X), refSel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// flagAliasedStructFields reports slice/map fields smuggled through a
+// whole-struct shallow copy.
+func flagAliasedStructFields(p *Pass, pos token.Pos, tn *types.TypeName, st *types.Struct) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isSliceOrMap(f.Type()) {
+			p.Reportf(pos, "shallow copy of %s aliases its %s field %q; deep-copy it explicitly after the struct copy", tn.Name(), typeKindName(f.Type()), f.Name())
+		}
+	}
+}
+
+// recordFingerprintReads collects every struct field a fingerprint
+// method reads.
+func recordFingerprintReads(p *Pass, fn *ast.FuncDecl, get func(*types.TypeName) *structFacts) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field := structField(p, sel)
+		if field == nil {
+			return true
+		}
+		tn, _ := namedStruct(p.TypeOf(sel.X))
+		if tn == nil {
+			return true
+		}
+		sf := get(tn)
+		if _, seen := sf.fpReads[field.Name()]; !seen {
+			sf.fpReads[field.Name()] = sel.Sel.Pos()
+		}
+		return true
+	})
+}
+
+// checkUpdatePurity flags assignments to package-level variables inside
+// an Update method.
+func checkUpdatePurity(p *Pass, fn *ast.FuncDecl) {
+	report := func(pos token.Pos, name string) {
+		p.Reportf(pos, "Update writes package-level state %q; updates run concurrently on speculative lineages and must not touch shared state", name)
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if root := rootIdent(lhs); root != nil {
+					if obj := p.ObjectOf(root); obj != nil && isPackageLevel(p, obj) {
+						report(lhs.Pos(), root.Name)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if root := rootIdent(n.X); root != nil {
+				if obj := p.ObjectOf(root); obj != nil && isPackageLevel(p, obj) {
+					report(n.Pos(), root.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// typeKindName names the reference kind for diagnostics.
+func typeKindName(t types.Type) string {
+	if t == nil {
+		return "reference"
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "reference"
+}
+
+// exprString renders a short expression (selector roots) for messages.
+func exprString(e ast.Expr) string {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.TypeAssertExpr:
+		return exprString(e.X)
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	}
+	return "state"
+}

@@ -1,0 +1,119 @@
+// Package detpath exercises the detpath analyzer: each flagged site
+// carries a want marker; the remaining functions are the clean shapes
+// the analyzer must not flag.
+package detpath
+
+import (
+	"context"
+	_ "math/rand" // want `import of math/rand in determinism-critical package`
+	"sort"
+	"time"
+
+	"gostats/internal/rng"
+)
+
+// --- flagged shapes ---
+
+// SumPrices accumulates floats in map order: float addition is not
+// associative, so the sum differs run to run.
+func SumPrices(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `iteration over map has nondeterministic order`
+		sum += v
+	}
+	return sum
+}
+
+// OverBudget lets the wall clock reach a protocol decision.
+func OverBudget(start time.Time, budget time.Duration) bool {
+	return time.Since(start) > budget // want `wall-clock read time\.Since`
+}
+
+// ClockSeed makes a seeded stream unreproducible again.
+func ClockSeed() *rng.Stream {
+	return rng.New(uint64(time.Now().UnixNano())) // want `rng\.New seeded from the wall clock` `wall-clock read time\.Now`
+}
+
+// commitRace picks whichever result channel wins the race.
+func commitRace(ctx context.Context, a, b <-chan int) int {
+	select { // want `select with 2 ready channels in a commit/validate path`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// --- clean shapes ---
+
+// Prune deletes while ranging: deletion commutes across orders.
+func Prune(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// Count accumulates an integer: + on ints is order-insensitive.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Invert writes into a map keyed by the loop variables only.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned pattern for order-sensitive bodies: the
+// collection loop is annotated, the sort restores determinism.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//statslint:allow detpath keys are sorted below before any order-sensitive use
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Event mirrors the engine's instrumentation record.
+type Event struct {
+	Kind  string
+	Start time.Time
+	Dur   time.Duration
+}
+
+func emit(Event) {}
+
+// Timed shows the instrumentation-flow exemption: wall-clock values
+// that land only in Event fields never reach protocol decisions.
+func Timed(work func()) {
+	t0 := time.Now()
+	work()
+	emit(Event{Kind: "done", Start: t0, Dur: time.Since(t0)})
+}
+
+// validateWait blocks on one data channel plus cancellation: the only
+// race is with abort, which cannot reorder outputs.
+func validateWait(ctx context.Context, ch <-chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Draw uses the seeded stream: the sanctioned randomness source.
+func Draw(r *rng.Stream) uint64 {
+	return r.Derive("draw").Uint64()
+}

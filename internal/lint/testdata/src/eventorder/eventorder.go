@@ -1,0 +1,82 @@
+// Package eventorder exercises the eventorder analyzer against a local
+// mirror of the engine's event shapes: a Kind-carrying Event struct
+// emitted through a sink function.
+package eventorder
+
+// Event mirrors engine.Event for the analyzer's syntactic fallback.
+type Event struct {
+	Kind string
+	Seq  int
+}
+
+const (
+	EvValidated = "validated"
+	EvCommitted = "committed"
+	EvAborted   = "aborted"
+	EvFault     = "fault"
+	EvRetry     = "retry"
+	EvDegraded  = "degraded"
+)
+
+func emit(Event) {}
+
+// --- flagged shapes ---
+
+// commitBlind declares a commit verdict nothing decided.
+func commitBlind(seq int) {
+	emit(Event{Kind: EvCommitted, Seq: seq}) // want `EvCommitted emitted without a preceding validation`
+}
+
+// retryWorker retries without an isolated fault.
+func retryWorker(seq int) {
+	emit(Event{Kind: EvRetry, Seq: seq}) // want `EvRetry emitted without a preceding EvFault`
+}
+
+// observe fabricates a fault from an ordinary pipeline stage.
+func observe(seq int) {
+	emit(Event{Kind: EvFault, Seq: seq}) // want `fault-class event EvFault emitted outside a recovery/injection context`
+}
+
+// degradeWorker degrades with no fault in scope.
+func degradeWorker(seq int) {
+	emit(Event{Kind: EvDegraded, Seq: seq}) // want `EvDegraded emitted with no fault in scope`
+}
+
+// --- clean shapes ---
+
+// commitAfterValidate is the canonical protocol order.
+func commitAfterValidate(seq int) {
+	emit(Event{Kind: EvValidated, Seq: seq})
+	emit(Event{Kind: EvCommitted, Seq: seq})
+}
+
+// commitFromDecision reads a slot decision before the verdict — the
+// batch worker's shape, where validation happened on another goroutine.
+func commitFromDecision(seq int, decisionCommit bool) {
+	if decisionCommit {
+		emit(Event{Kind: EvCommitted, Seq: seq})
+	} else {
+		emit(Event{Kind: EvAborted, Seq: seq})
+	}
+}
+
+// recoverRetry retries after isolating a fault.
+func recoverRetry(seq int) {
+	emit(Event{Kind: EvFault, Seq: seq})
+	emit(Event{Kind: EvRetry, Seq: seq})
+}
+
+// faultDegrade degrades only once the fault budget is spent.
+func faultDegrade(seq int, budget int) {
+	emit(Event{Kind: EvFault, Seq: seq})
+	if budget == 0 {
+		emit(Event{Kind: EvDegraded, Seq: seq})
+	}
+}
+
+// commitDelegated shows the allow escape for a cross-function protocol
+// the position-order analysis cannot see.
+func commitDelegated(seq int) {
+	//statslint:allow eventorder the caller validates before invoking this helper
+	emit(Event{Kind: EvCommitted, Seq: seq})
+}

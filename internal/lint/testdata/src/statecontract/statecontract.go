@@ -1,0 +1,118 @@
+// Package statecontract exercises the statecontract analyzer: Clone
+// aliasing, shallow struct copies, Fingerprint coverage, and Update
+// purity, each in flagged and clean form.
+package statecontract
+
+// --- flagged shapes ---
+
+// BadState's Clone hands both reference fields to the copy.
+type BadState struct {
+	Buf  []float64
+	Tags map[string]int
+	N    int
+}
+
+func (s *BadState) Clone() *BadState {
+	return &BadState{
+		Buf:  s.Buf,  // want `Clone aliases slice field s\.Buf`
+		Tags: s.Tags, // want `Clone aliases map field s\.Tags`
+		N:    s.N,
+	}
+}
+
+// AliasState's CloneInto aliases through an assignment instead of a
+// literal.
+type AliasState struct {
+	Buf []byte
+	N   int
+}
+
+func (s *AliasState) CloneInto(dst *AliasState) {
+	dst.N = s.N
+	dst.Buf = s.Buf // want `Clone aliases slice field s\.Buf`
+}
+
+// ShallowState smuggles its slice through a whole-struct copy.
+type ShallowState struct {
+	Buf []int
+	N   int
+}
+
+func (s *ShallowState) Clone() *ShallowState {
+	c := *s // want `shallow copy of ShallowState aliases its slice field "Buf"`
+	return &c
+}
+
+// FPState's Fingerprint reads a field its Clone never copies.
+type FPState struct {
+	A []float64
+	B []float64
+}
+
+func (s *FPState) Clone() *FPState {
+	c := &FPState{}
+	c.A = append([]float64(nil), s.A...)
+	return c
+}
+
+func (s *FPState) Fingerprint() uint64 {
+	var h uint64
+	for _, v := range s.B { // want `Fingerprint reads field "B" that Clone does not copy`
+		h = h*31 + uint64(v)
+	}
+	return h
+}
+
+// Counter's Update leaks into package-level state.
+var updateCount int
+
+type Counter struct{ N int }
+
+func (c *Counter) Update(x int) {
+	updateCount++ // want `Update writes package-level state "updateCount"`
+	c.N += x
+}
+
+// --- clean shapes ---
+
+// GoodState deep-copies with append and fingerprints only copied
+// fields.
+type GoodState struct {
+	Buf []float64
+	N   int
+}
+
+func (s *GoodState) Clone() *GoodState {
+	return &GoodState{
+		Buf: append([]float64(nil), s.Buf...),
+		N:   s.N,
+	}
+}
+
+func (s *GoodState) CloneInto(dst *GoodState) {
+	if len(dst.Buf) < len(s.Buf) {
+		dst.Buf = make([]float64, len(s.Buf))
+	}
+	copy(dst.Buf[:len(s.Buf)], s.Buf)
+	dst.N = s.N
+}
+
+func (s *GoodState) Fingerprint() uint64 {
+	h := uint64(len(s.Buf)) * 31
+	h += uint64(s.N)
+	return h
+}
+
+// Pure's Update touches only its receiver.
+type Pure struct{ Sum float64 }
+
+func (p *Pure) Update(x float64) { p.Sum += x }
+
+// Scalar has no reference fields, so a whole-struct copy is a deep
+// copy.
+type Scalar struct{ A, B int }
+
+func (s *Scalar) Clone() *Scalar {
+	c := *s
+	return &c
+}
