@@ -1,0 +1,494 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gostats/internal/cluster"
+)
+
+// gateway is the statsgate front door: it admits sessions through a
+// token bucket, picks a backend with the configured routing policy,
+// proxies the full-duplex NDJSON session, and — when a backend sheds
+// with 429/503 before any output byte has reached the client — replays
+// the consumed request bytes to the next backend the policy picks.
+type gateway struct {
+	reg    *cluster.Registry
+	policy cluster.RoutingPolicy
+	bucket *cluster.TokenBucket
+	client *http.Client
+	met    *cluster.GateMetrics
+
+	epoch    time.Time     // token-bucket clock origin
+	seq      atomic.Uint64 // admission sequence numbers for SessionKey
+	draining atomic.Bool
+	panics   atomic.Int64
+}
+
+func newGateway(reg *cluster.Registry, policy cluster.RoutingPolicy, bucket *cluster.TokenBucket) *gateway {
+	return &gateway{
+		reg:    reg,
+		policy: policy,
+		bucket: bucket,
+		// One shared transport: backend connections are long-lived
+		// streams, so allow plenty of idle conns per backend host.
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}},
+		met:   &cluster.GateMetrics{},
+		epoch: time.Now(),
+	}
+}
+
+func (g *gateway) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /readyz", g.handleReadyz)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.HandleFunc("GET /v1/backends", g.handleBackends)
+	mux.HandleFunc("GET /v1/benchmarks", g.handleBenchmarks)
+	mux.HandleFunc("POST /v1/stream/{benchmark}", g.handleStream)
+	return g.recovered(mux)
+}
+
+// recovered mirrors statsserved's outermost middleware.
+func (g *gateway) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			g.panics.Add(1)
+			log.Printf("statsgate: panic in %s %s: %v", r.Method, r.URL.Path, v)
+			http.Error(w, "internal error", http.StatusInternalServerError)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// startDrain flips /readyz not-ready and refuses new sessions, like
+// statsserved: in-flight proxied sessions run to completion under the
+// caller's grace period.
+func (g *gateway) startDrain() { g.draining.Store(true) }
+
+func (g *gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (g *gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if g.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleMetrics renders the gateway's own counters, a routing table
+// summary per backend, then a live aggregation of every reachable
+// backend's /metrics: per-backend lines under backend[instance]/ and
+// cluster-wide sums under cluster/.
+func (g *gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	g.met.WriteText(w)
+	fmt.Fprintf(w, "gate/counter[handler_panics]=%d\n", g.panics.Load())
+
+	scrapes := make(map[string]cluster.BackendMetrics)
+	for _, b := range g.reg.Snapshots() {
+		fmt.Fprintf(w, "gate/backend[%s]/routed=%d shed=%d inflight=%d health=%s\n",
+			b.ID, b.Routed, b.Shed, b.InFlight, b.Health)
+		if b.Health == cluster.Down || b.Addr == "" {
+			continue
+		}
+		text, status, err := g.fetch(r.Context(), b.Addr+"/metrics")
+		if err != nil || status != http.StatusOK {
+			continue
+		}
+		scrapes[b.ID] = cluster.ParseMetrics(text)
+	}
+	cluster.WriteAggregate(w, scrapes)
+}
+
+func (g *gateway) handleBackends(w http.ResponseWriter, r *http.Request) {
+	type row struct {
+		ID        string `json:"id"`
+		Addr      string `json:"addr"`
+		Health    string `json:"health"`
+		InFlight  int    `json:"inFlight"`
+		Active    int    `json:"active"`
+		Occupancy int    `json:"occupancy"`
+		Routed    int64  `json:"routed"`
+		Shed      int64  `json:"shed"`
+	}
+	rows := []row{}
+	for _, b := range g.reg.Snapshots() {
+		rows = append(rows, row{b.ID, b.Addr, b.Health.String(),
+			b.InFlight, b.Active, b.Occupancy, b.Routed, b.Shed})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"policy":   g.policy.Name(),
+		"backends": rows,
+	})
+}
+
+// handleBenchmarks forwards discovery to the first ready backend.
+func (g *gateway) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	for _, b := range g.reg.Ready() {
+		text, status, err := g.fetch(r.Context(), b.Addr+"/v1/benchmarks")
+		if err != nil || status != http.StatusOK {
+			continue
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, text)
+		return
+	}
+	http.Error(w, "no ready backend", http.StatusBadGateway)
+}
+
+func (g *gateway) fetch(ctx context.Context, url string) (string, int, error) {
+	rctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", 0, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	return string(raw), resp.StatusCode, err
+}
+
+// handleStream proxies one streaming session. Shed-and-re-route
+// contract: a backend that answers 429 (session cap) or 503 (draining),
+// or that cannot be reached at all, does so before emitting any output
+// byte — statsserved decides those before reading the body — so the
+// gateway replays the already-consumed request bytes to the next
+// backend the policy picks. Once the first output byte has been relayed
+// the session is pinned: failures after that point surface to the
+// client exactly as the backend produced them, preserving the
+// determinism contract (committed NDJSON bytes are the backend's,
+// untouched).
+func (g *gateway) handleStream(w http.ResponseWriter, r *http.Request) {
+	if g.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if ok, wait := g.bucket.Admit(time.Since(g.epoch)); !ok {
+		g.met.ShedAdmission.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(wait))
+		http.Error(w, "cluster admission rate exceeded", http.StatusTooManyRequests)
+		return
+	}
+
+	key := cluster.SessionKey{
+		Benchmark: r.PathValue("benchmark"),
+		Seq:       g.seq.Add(1) - 1,
+	}
+	rr := newReplayReader(r.Body)
+	rc := http.NewResponseController(w)
+
+	// Whatever path exits, no goroutine may be left reading the request
+	// body (net/http forbids it after the handler returns): kill every
+	// attempt view, and — unless the body already drained to EOF —
+	// poison the connection read deadline so a blocked read fails, then
+	// take the reader lock once to wait that read out.
+	defer func() {
+		rr.killAll()
+		if !rr.sawEOF() && rc.SetReadDeadline(time.Now()) == nil {
+			rr.quiesce()
+			_, _ = io.CopyN(io.Discard, r.Body, 64<<10)
+		}
+	}()
+
+	hints := []int{}
+	candidates := g.reg.Ready()
+	for len(candidates) > 0 {
+		i := g.policy.Pick(candidates, key)
+		b := candidates[i]
+		done, hint := g.tryBackend(w, r, rc, b, rr, key.Benchmark)
+		if done {
+			return
+		}
+		if hint > 0 {
+			hints = append(hints, hint)
+		}
+		g.met.Reroutes.Add(1)
+		candidates = append(candidates[:i:i], candidates[i+1:]...)
+	}
+
+	// Every candidate shed or was unreachable: shed to the client with
+	// the soonest Retry-After hint any backend offered.
+	g.met.ShedCapacity.Add(1)
+	retry := 1
+	for _, h := range hints {
+		if retry == 1 || h < retry {
+			retry = h
+		}
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	http.Error(w, "no backend can take the session", http.StatusTooManyRequests)
+}
+
+// tryBackend proxies the session to one backend. done means the session
+// was answered (successfully or with a non-retryable error) and the
+// handler must return; !done means the backend shed or was unreachable
+// before any output byte, and the caller may re-route with hint (the
+// backend's Retry-After in seconds, 0 if none).
+func (g *gateway) tryBackend(w http.ResponseWriter, r *http.Request, rc *http.ResponseController,
+	b cluster.Backend, rr *replayReader, benchmark string) (done bool, hint int) {
+	url := b.Addr + "/v1/stream/" + benchmark
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	view := rr.view()
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url, view)
+	if err != nil {
+		view.Close()
+		g.met.BackendErrors.Add(1)
+		return false, 0
+	}
+	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	// Session bodies stream; never let the transport wait to buffer one.
+	req.ContentLength = -1
+
+	g.reg.StartSession(b.ID)
+	defer g.reg.EndSession(b.ID)
+	resp, err := g.client.Do(req)
+	if err != nil {
+		view.Close()
+		g.met.BackendErrors.Add(1)
+		return false, 0
+	}
+	defer resp.Body.Close()
+	defer view.Close()
+
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		// The backend shed before reading the session: re-routable.
+		g.reg.MarkShed(b.ID)
+		if s, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); err == nil {
+			hint = s
+		}
+		return false, hint
+	}
+
+	// Anything else is the session's answer. Relay it: status, content
+	// type, then the body with a flush per read so committed outputs
+	// stream to the client as the backend emits them. Full duplex first:
+	// outputs flow while the client is still uploading inputs.
+	g.met.Routed.Add(1)
+	g.reg.MarkRouted(b.ID)
+	rr.release(view)
+	_ = rc.EnableFullDuplex()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return true, 0
+			}
+			_ = rc.Flush()
+		}
+		if rerr != nil {
+			return true, 0
+		}
+	}
+}
+
+// retryAfterSeconds renders a wait as a whole-second Retry-After value,
+// rounding up so a client never retries early.
+func retryAfterSeconds(wait time.Duration) string {
+	s := int((wait + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return strconv.Itoa(s)
+}
+
+// errAttemptAborted stops a shed attempt's transport from consuming
+// more of the session body once the gateway has moved on.
+var errAttemptAborted = errors.New("statsgate: attempt aborted")
+
+// replayReader lets one logical session body feed several sequential
+// proxy attempts. Bytes read from the client are retained until
+// release(), so an attempt that a backend sheds — always before it has
+// produced output, and in practice before it has consumed much input —
+// can be replayed in full to the next backend. After release() (first
+// output byte relayed: no more re-routes) the winning view reads
+// straight through and nothing further is retained, so a long session
+// costs no replay memory.
+//
+// Reads of the underlying body are serialized by the reading flag, with
+// mu dropped during the (possibly blocking) source read itself, so
+// bookkeeping calls like release() and killAll() never wait on a client
+// that has paused uploading. A shed attempt's transport that is still
+// mid-read when the gateway moves on deposits whatever it consumed into
+// buf, where the successor view picks it up in order — no byte is lost
+// or reordered.
+type replayReader struct {
+	mu       sync.Mutex
+	cond     *sync.Cond // signals reading falling false / buf growth
+	src      io.Reader
+	reading  bool  // a source read is in flight (mu dropped)
+	start    int64 // absolute offset of buf[0]
+	buf      []byte
+	err      error // terminal src error, sticky
+	released bool
+	winner   *replayView // sole view allowed to read post-release
+	dead     bool        // killAll: every view refuses further reads
+	tmp      []byte
+}
+
+func newReplayReader(src io.Reader) *replayReader {
+	rr := &replayReader{src: src, tmp: make([]byte, 32<<10)}
+	rr.cond = sync.NewCond(&rr.mu)
+	return rr
+}
+
+// view returns the full logical stream for one proxy attempt.
+func (rr *replayReader) view() *replayView { return &replayView{rr: rr} }
+
+// release pins the winning view and stops retaining replayed bytes:
+// re-routing is over. Never blocks on client I/O.
+func (rr *replayReader) release(winner *replayView) {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	rr.released = true
+	rr.winner = winner
+	rr.start += int64(len(rr.buf))
+	rr.buf = nil
+}
+
+// killAll makes every view (current and stale) refuse further reads.
+func (rr *replayReader) killAll() {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	rr.dead = true
+	rr.cond.Broadcast()
+}
+
+// sawEOF reports whether the client body has drained cleanly — in which
+// case no read can block and no connection poisoning is needed.
+func (rr *replayReader) sawEOF() bool {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	return rr.err == io.EOF
+}
+
+// quiesce waits out any in-flight source read; the caller must first
+// have made that read fail fast (poisoned connection deadline).
+func (rr *replayReader) quiesce() {
+	rr.mu.Lock()
+	for rr.reading {
+		rr.cond.Wait()
+	}
+	rr.mu.Unlock()
+}
+
+type replayView struct {
+	rr     *replayReader
+	off    int64 // absolute offset into the logical stream
+	closed bool
+}
+
+func (v *replayView) Read(p []byte) (int, error) {
+	rr := v.rr
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	for {
+		if rr.dead || v.closed || (rr.released && rr.winner != v) {
+			return 0, errAttemptAborted
+		}
+		if v.off < rr.start {
+			// Only reachable if an attempt started after release(),
+			// which the proxy loop never does.
+			return 0, errors.New("statsgate: replay window released")
+		}
+		if v.off < rr.start+int64(len(rr.buf)) {
+			n := copy(p, rr.buf[v.off-rr.start:])
+			v.off += int64(n)
+			return n, nil
+		}
+		if rr.err != nil {
+			return 0, rr.err
+		}
+		if rr.reading {
+			// Another view's source read is in flight; when it lands its
+			// bytes in buf (or errors out), re-check from the top.
+			rr.cond.Wait()
+			continue
+		}
+		if rr.released {
+			// Direct passthrough for the winner: read into p with mu
+			// dropped, retaining nothing.
+			rr.reading = true
+			rr.mu.Unlock()
+			n, err := rr.src.Read(p)
+			rr.mu.Lock()
+			rr.reading = false
+			rr.start += int64(n)
+			v.off += int64(n)
+			if err != nil {
+				rr.err = err
+			}
+			rr.cond.Broadcast()
+			if n > 0 {
+				return n, nil
+			}
+			if err != nil {
+				return 0, err
+			}
+			continue
+		}
+		// Pull a fresh chunk into the shared buffer, mu dropped during
+		// the read; even if this view is abandoned mid-read, the bytes
+		// are retained for successors.
+		rr.reading = true
+		rr.mu.Unlock()
+		n, err := rr.src.Read(rr.tmp)
+		rr.mu.Lock()
+		rr.reading = false
+		if n > 0 {
+			rr.buf = append(rr.buf, rr.tmp[:n]...)
+		}
+		if err != nil {
+			rr.err = err
+		}
+		rr.cond.Broadcast()
+	}
+}
+
+// Close marks this attempt's view dead. The transport calls it when an
+// attempt ends; the proxy loop relies on the shared-buffer invariant
+// (see Read) rather than on Close timing.
+func (v *replayView) Close() error {
+	v.rr.mu.Lock()
+	defer v.rr.mu.Unlock()
+	v.closed = true
+	v.rr.cond.Broadcast()
+	return nil
+}

@@ -6,7 +6,8 @@
 //	            [-workers 4] [-adapt] [-seed 3] [-grace 15s]
 //	            [-max-sessions 64] [-session-timeout 0] [-max-body 1073741824]
 //	            [-max-line 1048576] [-chunk-deadline 0] [-retries 2]
-//	            [-retry-base 1ms] [-retry-max 250ms]
+//	            [-retry-base 1ms] [-retry-max 250ms] [-retry-after 1s]
+//	            [-instance statsserved]
 //	statsserved -gen facetrack [-n 64] [-input-seed 1]
 //
 // In serving mode it accepts NDJSON sessions at
@@ -14,12 +15,16 @@
 // input, each response line one committed output (in input order), and
 // the final line a JSON trailer with the session's statistics. Concurrent
 // sessions run on independent pipelines; /metrics aggregates binned stage
-// latencies and counters across all of them; /healthz reports liveness;
-// /readyz reports routability (not-ready while draining);
-// GET /v1/benchmarks lists the streamable workloads.
+// latencies and counters across all of them and exports the cluster-routing
+// load gauges (active sessions, speculation-window occupancy, drain state,
+// labelled by -instance) that statsgate's least-loaded policy consumes;
+// /healthz reports liveness; /readyz reports routability (not-ready while
+// draining); GET /v1/benchmarks lists the streamable workloads.
 //
 // The process is bounded on every axis a client controls: concurrent
-// sessions (-max-sessions, shed with 429), session lifetime
+// sessions (-max-sessions, shed with a 429 whose Retry-After hint starts
+// at -retry-after and grows with speculation-window occupancy), session
+// lifetime
 // (-session-timeout), request body size (-max-body, 413), and NDJSON
 // line length (-max-line, 400). Inside a session the engine's fault
 // layer isolates worker panics and missed per-chunk deadlines
@@ -49,6 +54,7 @@ import (
 	_ "gostats/internal/bench/all"
 	"gostats/internal/profiling"
 	"gostats/internal/rng"
+	"gostats/internal/serve"
 	"gostats/internal/stream"
 )
 
@@ -69,6 +75,8 @@ func main() {
 	retries := flag.Int("retries", 0, "retry budget per faulted chunk before degrading to sequential re-execution (0: default 2)")
 	retryBase := flag.Duration("retry-base", 0, "initial retry backoff (0: default 1ms)")
 	retryMax := flag.Duration("retry-max", 0, "retry backoff ceiling (0: default 250ms)")
+	retryAfter := flag.Duration("retry-after", 0, "base Retry-After hint on 429 sheds, scaled by window occupancy (0: default 1s)")
+	instance := flag.String("instance", "", "instance label exported in /metrics for gateway aggregation (default \"statsserved\")")
 	gen := flag.String("gen", "", "print this benchmark's inputs as NDJSON to stdout and exit")
 	n := flag.Int("n", 0, "with -gen, cap the number of input lines (0: native length)")
 	inputSeed := flag.Uint64("input-seed", 1, "with -gen, input-generation seed")
@@ -109,13 +117,15 @@ func main() {
 		os.Exit(1)
 	}
 
-	app := newServer(base, limits{
+	app := serve.New(base, serve.Options{
 		MaxSessions:    *maxSessions,
 		SessionTimeout: *sessionTimeout,
 		MaxBody:        *maxBody,
 		MaxLine:        *maxLine,
+		RetryAfterBase: *retryAfter,
+		Instance:       *instance,
 	})
-	srv := &http.Server{Addr: *addr, Handler: app.handler()}
+	srv := &http.Server{Addr: *addr, Handler: app.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -131,7 +141,7 @@ func main() {
 		// Turn /readyz not-ready and refuse new sessions, then drain
 		// in-flight ones; past the grace deadline, force-close every
 		// connection — session contexts cancel and pipelines unwind.
-		app.startDrain()
+		app.StartDrain()
 		log.Printf("statsserved: signal received, draining sessions (grace %s)", *grace)
 		sctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func testBackends(n int) []Backend {
+	out := make([]Backend, n)
+	for i := range out {
+		out[i] = Backend{ID: string(rune('a' + i)), Addr: "http://x"}
+	}
+	return out
+}
+
+// TestClusterRegistryOrderAndAccounting: snapshots come back in registration
+// order regardless of update order, and session accounting moves the
+// load counters routing policies read.
+func TestClusterRegistryOrderAndAccounting(t *testing.T) {
+	reg := NewRegistry(testBackends(3)...)
+	reg.StartSession("c")
+	reg.MarkRouted("c")
+	reg.StartSession("c")
+	reg.MarkRouted("c")
+	reg.StartSession("a")
+	reg.EndSession("c")
+	reg.MarkShed("b")
+	reg.SetHealth("b", Draining)
+	reg.UpdateLoad("a", 5, 12, 64)
+
+	snaps := reg.Snapshots()
+	if got := []string{snaps[0].ID, snaps[1].ID, snaps[2].ID}; got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("snapshot order %v, want [a b c]", got)
+	}
+	if snaps[0].InFlight != 1 || snaps[0].Active != 5 || snaps[0].Occupancy != 12 || snaps[0].MaxSessions != 64 {
+		t.Fatalf("backend a load = %+v", snaps[0])
+	}
+	if snaps[2].InFlight != 1 || snaps[2].Routed != 2 {
+		t.Fatalf("backend c accounting = %+v", snaps[2])
+	}
+	if snaps[1].Shed != 1 {
+		t.Fatalf("backend b shed = %d, want 1", snaps[1].Shed)
+	}
+
+	ready := reg.Ready()
+	if len(ready) != 2 || ready[0].ID != "a" || ready[1].ID != "c" {
+		t.Fatalf("ready = %v, want [a c]", ready)
+	}
+}
+
+// TestClusterPolicies: each policy's decision is a pure function of
+// (candidates, key); least-loaded tracks the load signal; affinity is
+// sticky per benchmark and survives candidate removal (rendezvous).
+func TestClusterPolicies(t *testing.T) {
+	cands := testBackends(4)
+	cands[1].InFlight = 3
+	cands[2].Active = 1
+	key := SessionKey{Benchmark: "facetrack", Seq: 7}
+
+	for _, name := range PolicyNames() {
+		p, err := PolicyFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := p.Pick(cands, key)
+		for i := 0; i < 10; i++ {
+			if got := p.Pick(cands, key); got != first {
+				t.Fatalf("%s: Pick not deterministic: %d then %d", name, first, got)
+			}
+		}
+	}
+
+	if got := (RoundRobin{}).Pick(cands, SessionKey{Seq: 6}); got != 2 {
+		t.Fatalf("roundrobin seq 6 over 4 = %d, want 2", got)
+	}
+	if got := (LeastLoaded{}).Pick(cands, key); cands[got].ID != "a" && cands[got].ID != "d" {
+		t.Fatalf("leastloaded picked loaded backend %s", cands[got].ID)
+	}
+	cands[0].Occupancy = 40 // ≈10 sessions' worth of chunks
+	if got := (LeastLoaded{}).Pick(cands, key); cands[got].ID != "d" {
+		t.Fatalf("leastloaded ignored occupancy, picked %s", cands[got].ID)
+	}
+
+	aff := Affinity{}
+	home := aff.Pick(cands, key)
+	if aff.Pick(cands, SessionKey{Benchmark: "facetrack", Seq: 999}) != home {
+		t.Fatal("affinity not sticky across sessions of one benchmark")
+	}
+	// Remove a non-home candidate: the home backend must not move
+	// (rendezvous hashing's minimal-disruption property).
+	drop := (home + 1) % len(cands)
+	smaller := append(append([]Backend{}, cands[:drop]...), cands[drop+1:]...)
+	if smaller[aff.Pick(smaller, key)].ID != cands[home].ID {
+		t.Fatal("affinity moved benchmark off its home when an unrelated backend left")
+	}
+
+	if _, err := PolicyFor("nosuch"); err == nil {
+		t.Fatal("PolicyFor(nosuch) did not error")
+	}
+}
+
+// TestClusterTokenBucket: burst admits, an empty bucket sheds with a positive
+// Retry-After, refill follows the explicit clock, rate<=0 disables.
+func TestClusterTokenBucket(t *testing.T) {
+	b := NewTokenBucket(10, 2) // 10 tokens/s, burst 2
+	now := time.Duration(0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Admit(now); !ok {
+			t.Fatalf("burst admit %d refused", i)
+		}
+	}
+	ok, retry := b.Admit(now)
+	if ok || retry <= 0 || retry > 100*time.Millisecond {
+		t.Fatalf("empty bucket: ok=%v retry=%s", ok, retry)
+	}
+	if ok, _ := b.Admit(now + retry); !ok {
+		t.Fatal("bucket did not refill after the advertised wait")
+	}
+	unlimited := NewTokenBucket(0, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := unlimited.Admit(0); !ok {
+			t.Fatal("rate<=0 must admit everything")
+		}
+	}
+}
+
+// TestClusterParseAndAggregate: scrapes parse into load gauges plus an instance
+// label, and WriteAggregate emits stable per-backend and summed lines.
+func TestClusterParseAndAggregate(t *testing.T) {
+	scrape := "stream/counter[inputs]=40\nserve/counter[sessions_shed]=1\n" +
+		"serve/instance=b0\nserve/gauge[active_sessions]=3\n" +
+		"serve/gauge[window_occupancy]=9\nserve/gauge[max_sessions]=64\n" +
+		"stream/stage[commit]/time[0,1us)=12 0.000004\nnot a metric\n"
+	bm := ParseMetrics(scrape)
+	if bm.Instance != "b0" {
+		t.Fatalf("instance %q", bm.Instance)
+	}
+	active, occ, maxs := bm.LoadGauges()
+	if active != 3 || occ != 9 || maxs != 64 {
+		t.Fatalf("gauges = %d %d %d", active, occ, maxs)
+	}
+	if _, ok := bm.Values["stream/stage[commit]/time[0,1us)"]; ok {
+		t.Fatal("histogram line must not parse as a counter")
+	}
+
+	other := ParseMetrics("stream/counter[inputs]=2\nserve/instance=b1\n")
+	var sb strings.Builder
+	WriteAggregate(&sb, map[string]BackendMetrics{"b0": bm, "b1": other})
+	out := sb.String()
+	for _, want := range []string{
+		"backend[b0]/stream/counter[inputs]=40",
+		"backend[b1]/stream/counter[inputs]=2",
+		"cluster/stream/counter[inputs]=42",
+		"cluster/serve/gauge[active_sessions]=3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("aggregate missing %q:\n%s", want, out)
+		}
+	}
+	again := &strings.Builder{}
+	WriteAggregate(again, map[string]BackendMetrics{"b0": bm, "b1": other})
+	if again.String() != out {
+		t.Fatal("aggregate output not stable across renders")
+	}
+}

@@ -1,0 +1,270 @@
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"gostats/internal/rng"
+)
+
+// ArrivalSpec describes a synthetic session workload for the cluster
+// simulator: when sessions arrive, what they run, how long they hold a
+// backend slot, and the cluster they hit. Interarrival and service times
+// are exponentially distributed around their means, drawn from seeded
+// internal/rng streams, so a (spec, seed) pair names exactly one
+// workload trace — the same trace every policy under comparison replays.
+type ArrivalSpec struct {
+	// Sessions is the number of session arrivals to generate.
+	Sessions int
+	// Backends is the number of simulated statsserved processes.
+	Backends int
+	// SlotsPerBackend mirrors -max-sessions: a backend at its slot cap
+	// sheds the session back to the gateway, which re-routes it.
+	SlotsPerBackend int
+	// MeanInterarrival and MeanDuration are the exponential means of
+	// session spacing and session service time (virtual time).
+	MeanInterarrival time.Duration
+	MeanDuration     time.Duration
+	// Benchmarks is the workload mix, drawn uniformly per session.
+	// Empty means a representative three-codec mix.
+	Benchmarks []string
+	// Rate and Burst parameterize the gateway token bucket in tokens
+	// per (virtual) second; Rate <= 0 disables admission control.
+	Rate, Burst float64
+	// Seed selects one workload trace.
+	Seed uint64
+}
+
+func (s ArrivalSpec) withDefaults() ArrivalSpec {
+	if s.Backends <= 0 {
+		s.Backends = 4
+	}
+	if s.SlotsPerBackend <= 0 {
+		s.SlotsPerBackend = 64
+	}
+	if s.MeanInterarrival <= 0 {
+		s.MeanInterarrival = 2 * time.Millisecond
+	}
+	if s.MeanDuration <= 0 {
+		s.MeanDuration = 250 * time.Millisecond
+	}
+	if len(s.Benchmarks) == 0 {
+		s.Benchmarks = []string{"facetrack", "streamcluster", "streamclassifier"}
+	}
+	return s
+}
+
+// Validate reports spec errors.
+func (s ArrivalSpec) Validate() error {
+	if s.Sessions <= 0 {
+		return fmt.Errorf("cluster: Sessions must be positive, got %d", s.Sessions)
+	}
+	if s.Backends < 0 || s.SlotsPerBackend < 0 {
+		return fmt.Errorf("cluster: negative Backends/SlotsPerBackend")
+	}
+	return nil
+}
+
+// PolicyResult summarizes one policy's run over a workload trace.
+type PolicyResult struct {
+	Policy   string `json:"policy"`
+	Sessions int    `json:"sessions"` // arrivals generated
+	// Admitted sessions passed the token bucket; Completed ran to
+	// departure on some backend.
+	Admitted  int `json:"admitted"`
+	Completed int `json:"completed"`
+	// ShedAdmission were refused by the gateway bucket; ShedCapacity
+	// found every backend at its slot cap even after re-routing.
+	ShedAdmission int `json:"shed_admission"`
+	ShedCapacity  int `json:"shed_capacity"`
+	// Reroutes counts backend sheds retried on another backend (the
+	// live path's 429-before-output re-route).
+	Reroutes int `json:"reroutes"`
+	// Elapsed is the virtual makespan; Throughput is completed sessions
+	// per virtual second; ShedRate is total sheds over arrivals.
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	Throughput float64       `json:"throughput_per_s"`
+	ShedRate   float64       `json:"shed_rate"`
+	// Fairness is Jain's index over per-backend completed sessions:
+	// 1 is perfectly even, 1/N is one backend taking everything.
+	Fairness   float64 `json:"jain_fairness"`
+	PerBackend []int   `json:"per_backend"`
+	// Decisions is an FNV-1a hash over the full routing decision
+	// sequence (session seq, chosen backend, outcome). Two runs made
+	// identical decisions iff their hashes match — the simulator's
+	// determinism tests and cross-run comparisons key on it.
+	Decisions uint64 `json:"decisions_hash"`
+}
+
+// simEvent is one scheduled callback; ties on time break by insertion
+// order, exactly like internal/machine's event queue, which is what
+// makes the heap — and therefore the whole simulation — deterministic.
+type simEvent struct {
+	time int64 // virtual nanoseconds
+	seq  int64
+	fn   func(now int64)
+}
+
+type simHeap []*simEvent
+
+func (h simHeap) Len() int { return len(h) }
+func (h simHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h simHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *simHeap) Push(x any)   { *h = append(*h, x.(*simEvent)) }
+func (h *simHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Simulate replays spec's workload trace against a simulated cluster
+// under policy. The decision path is the live gateway's: token-bucket
+// admission at virtual arrival time, policy Pick over ready backends,
+// shed-and-re-route when the picked backend is at its slot cap, session
+// slots freed at exponential departure times. Same spec, same policy ⇒
+// identical PolicyResult, bit for bit.
+func Simulate(spec ArrivalSpec, policy RoutingPolicy) (PolicyResult, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return PolicyResult{}, err
+	}
+
+	backends := make([]Backend, spec.Backends)
+	for i := range backends {
+		backends[i] = Backend{ID: fmt.Sprintf("sim-%03d", i)}
+	}
+	reg := NewRegistry(backends...)
+	bucket := NewTokenBucket(spec.Rate, spec.Burst)
+
+	root := rng.New(spec.Seed)
+	arrivals := root.Derive("cluster-arrivals")
+	durations := root.Derive("cluster-durations")
+	mix := root.Derive("cluster-mix")
+
+	res := PolicyResult{Policy: policy.Name(), Sessions: spec.Sessions,
+		PerBackend: make([]int, spec.Backends)}
+	index := make(map[string]int, spec.Backends) // backend ID → PerBackend slot
+	for i, b := range backends {
+		index[b.ID] = i
+	}
+	hash := uint64(14695981039346656037)
+	mixHash := func(vs ...uint64) {
+		for _, v := range vs {
+			for s := 0; s < 64; s += 8 {
+				hash = (hash ^ (v >> s & 0xff)) * 1099511628211
+			}
+		}
+	}
+
+	var (
+		events   simHeap
+		eventSeq int64
+		now      int64
+	)
+	schedule := func(at int64, fn func(now int64)) {
+		heap.Push(&events, &simEvent{time: at, seq: eventSeq, fn: fn})
+		eventSeq++
+	}
+	expo := func(r *rng.Stream, mean time.Duration) int64 {
+		return int64(r.ExpFloat64() * float64(mean))
+	}
+
+	depart := func(id string) func(int64) {
+		return func(int64) {
+			reg.EndSession(id)
+			res.Completed++
+			res.PerBackend[index[id]]++
+		}
+	}
+
+	var arrive func(seq uint64)
+	arrive = func(seq uint64) {
+		// Schedule the next arrival first so the trace (arrival times,
+		// benchmarks, durations) is independent of routing outcomes.
+		if seq+1 < uint64(spec.Sessions) {
+			schedule(now+expo(arrivals, spec.MeanInterarrival), func(int64) { arrive(seq + 1) })
+		}
+		benchmark := spec.Benchmarks[mix.Intn(len(spec.Benchmarks))]
+		dur := expo(durations, spec.MeanDuration)
+
+		if ok, _ := bucket.Admit(time.Duration(now)); !ok {
+			res.ShedAdmission++
+			mixHash(seq, ^uint64(0), 0)
+			return
+		}
+		res.Admitted++
+		key := SessionKey{Benchmark: benchmark, Seq: seq}
+		candidates := reg.Ready()
+		routed := false
+		for len(candidates) > 0 {
+			i := policy.Pick(candidates, key)
+			b := candidates[i]
+			if b.InFlight >= spec.SlotsPerBackend {
+				// The backend's 429: account the shed, drop it from the
+				// candidate set, let the policy pick again.
+				reg.MarkShed(b.ID)
+				res.Reroutes++
+				mixHash(seq, rendezvousWeight("shed", b.ID), 2)
+				candidates = append(candidates[:i:i], candidates[i+1:]...)
+				continue
+			}
+			reg.StartSession(b.ID)
+			reg.MarkRouted(b.ID)
+			schedule(now+dur, depart(b.ID))
+			mixHash(seq, rendezvousWeight("route", b.ID), 1)
+			routed = true
+			break
+		}
+		if !routed {
+			res.ShedCapacity++
+			mixHash(seq, ^uint64(0), 3)
+		}
+	}
+
+	schedule(0, func(int64) { arrive(0) })
+	heap.Init(&events)
+	for events.Len() > 0 {
+		e := heap.Pop(&events).(*simEvent)
+		now = e.time
+		e.fn(now)
+	}
+
+	res.Elapsed = time.Duration(now)
+	if now > 0 {
+		res.Throughput = float64(res.Completed) / time.Duration(now).Seconds()
+	}
+	res.ShedRate = float64(res.ShedAdmission+res.ShedCapacity) / float64(spec.Sessions)
+	res.Fairness = jain(res.PerBackend)
+	res.Decisions = hash
+	return res, nil
+}
+
+// Compare runs every policy against the same workload trace.
+func Compare(spec ArrivalSpec, policies []RoutingPolicy) ([]PolicyResult, error) {
+	out := make([]PolicyResult, 0, len(policies))
+	for _, p := range policies {
+		r, err := Simulate(spec, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// jain computes Jain's fairness index (Σx)²/(n·Σx²) over per-backend
+// session counts; 1 when perfectly balanced, 1/n when one backend takes
+// everything, and 1 by convention for an idle or empty cluster.
+func jain(counts []int) float64 {
+	var sum, sumsq float64
+	for _, c := range counts {
+		sum += float64(c)
+		sumsq += float64(c) * float64(c)
+	}
+	if sumsq == 0 || len(counts) == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(counts)) * sumsq)
+}

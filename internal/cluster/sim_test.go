@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func simSpec() ArrivalSpec {
+	return ArrivalSpec{
+		Sessions:         20000,
+		Backends:         8,
+		SlotsPerBackend:  16,
+		MeanInterarrival: time.Millisecond,
+		MeanDuration:     100 * time.Millisecond,
+		Seed:             42,
+	}
+}
+
+// TestClusterSimDeterministic: same seed + same arrival spec ⇒ identical
+// routing decisions (the Decisions hash) and identical summary metrics,
+// run to run, for every registered policy.
+func TestClusterSimDeterministic(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := PolicyFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Simulate(simSpec(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Simulate(simSpec(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: two runs differ:\n%+v\n%+v", name, a, b)
+		}
+		if a.Decisions == 0 {
+			t.Fatalf("%s: empty decision hash", name)
+		}
+	}
+}
+
+// TestClusterSimSeedsDiffer: a different seed is a different workload trace —
+// the decision hash must move (or the hash is vacuous).
+func TestClusterSimSeedsDiffer(t *testing.T) {
+	spec := simSpec()
+	a, err := Simulate(spec, RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Seed++
+	b, err := Simulate(spec, RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Decisions == b.Decisions {
+		t.Fatal("different seeds produced identical decision sequences")
+	}
+}
+
+// TestClusterSimAccounting: every arrival is accounted exactly once, completed
+// sessions equal admitted-minus-capacity-shed, the per-backend counts
+// sum to completed, and fairness is a valid Jain index.
+func TestClusterSimAccounting(t *testing.T) {
+	spec := simSpec()
+	spec.Rate, spec.Burst = 800, 50 // force some admission sheds too
+	for _, name := range PolicyNames() {
+		p, _ := PolicyFor(name)
+		r, err := Simulate(spec, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Admitted+r.ShedAdmission != r.Sessions {
+			t.Fatalf("%s: admitted %d + shed %d != %d arrivals", name, r.Admitted, r.ShedAdmission, r.Sessions)
+		}
+		if r.Completed != r.Admitted-r.ShedCapacity {
+			t.Fatalf("%s: completed %d, admitted %d, capacity-shed %d", name, r.Completed, r.Admitted, r.ShedCapacity)
+		}
+		sum := 0
+		for _, c := range r.PerBackend {
+			sum += c
+		}
+		if sum != r.Completed {
+			t.Fatalf("%s: per-backend sum %d != completed %d", name, sum, r.Completed)
+		}
+		if r.Fairness < 1/float64(spec.Backends)-1e-9 || r.Fairness > 1+1e-9 {
+			t.Fatalf("%s: Jain index %f out of range", name, r.Fairness)
+		}
+		if r.Throughput <= 0 || r.Elapsed <= 0 {
+			t.Fatalf("%s: degenerate throughput %f / elapsed %s", name, r.Throughput, r.Elapsed)
+		}
+	}
+}
+
+// TestClusterSimPolicyContrast: under an overloaded cluster, round-robin and
+// least-loaded must stay near-perfectly fair, and affinity (three
+// benchmarks onto eight backends) must concentrate load — the contrast
+// the recorded BENCH_streaming.json gateway row captures.
+func TestClusterSimPolicyContrast(t *testing.T) {
+	spec := simSpec()
+	rr, err := Simulate(spec, RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, err := Simulate(spec, LeastLoaded{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aff, err := Simulate(spec, Affinity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Fairness < 0.95 || ll.Fairness < 0.95 {
+		t.Fatalf("load-blind fairness: rr %f ll %f, want ≥0.95", rr.Fairness, ll.Fairness)
+	}
+	if aff.Fairness >= rr.Fairness || aff.Fairness >= ll.Fairness {
+		t.Fatalf("affinity fairness %f not below rr %f / ll %f: three benchmarks on eight backends should concentrate",
+			aff.Fairness, rr.Fairness, ll.Fairness)
+	}
+	// Affinity pays for stickiness with sheds once its home backends
+	// saturate; least-loaded should shed no more than it.
+	if ll.ShedCapacity > aff.ShedCapacity {
+		t.Fatalf("leastloaded shed %d > affinity %d", ll.ShedCapacity, aff.ShedCapacity)
+	}
+}
+
+// TestClusterCompareSharesTrace: Compare runs each policy over the same trace;
+// the arrival count and spec-level accounting must agree across rows.
+func TestClusterCompareSharesTrace(t *testing.T) {
+	ps := make([]RoutingPolicy, 0, 3)
+	for _, name := range PolicyNames() {
+		p, _ := PolicyFor(name)
+		ps = append(ps, p)
+	}
+	rows, err := Compare(simSpec(), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ps) {
+		t.Fatalf("%d rows for %d policies", len(rows), len(ps))
+	}
+	for _, r := range rows[1:] {
+		if r.Sessions != rows[0].Sessions {
+			t.Fatalf("policies saw different traces: %d vs %d arrivals", r.Sessions, rows[0].Sessions)
+		}
+	}
+}
+
+// TestClusterSimRejectsBadSpec: zero sessions is an error, not a hang.
+func TestClusterSimRejectsBadSpec(t *testing.T) {
+	if _, err := Simulate(ArrivalSpec{}, RoundRobin{}); err == nil {
+		t.Fatal("empty spec did not error")
+	}
+}

@@ -118,6 +118,7 @@ func DefaultConfig() *Config {
 		"gostats/internal/faultinject",
 		"gostats/internal/machine",
 		"gostats/internal/memsim",
+		"gostats/internal/cluster",
 	}}
 }
 

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bufio"
@@ -19,7 +19,7 @@ import (
 // cores (the pool plus the commit frontier).
 func TestSessionAttribution(t *testing.T) {
 	cfg := baseConfig()
-	ts := httptest.NewServer(newServer(cfg, limits{}).handler())
+	ts := httptest.NewServer(New(cfg, Options{}).Handler())
 	defer ts.Close()
 
 	const name = "facetrack"
@@ -50,7 +50,7 @@ func TestSessionAttribution(t *testing.T) {
 	if len(lines) < 2 {
 		t.Fatalf("short response: %q", lines)
 	}
-	var tr sessionTrailer
+	var tr Trailer
 	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &tr); err != nil {
 		t.Fatalf("bad trailer %q: %v", lines[len(lines)-1], err)
 	}

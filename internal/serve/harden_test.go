@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bufio"
@@ -19,7 +19,7 @@ import (
 // both when Content-Length announces it up front and when it only shows
 // up while streaming.
 func TestOversizedBodyRejected(t *testing.T) {
-	ts := httptest.NewServer(newServer(baseConfig(), limits{MaxBody: 1024}).handler())
+	ts := httptest.NewServer(New(baseConfig(), Options{MaxBody: 1024}).Handler())
 	defer ts.Close()
 
 	// Announced: Content-Length exceeds the cap, rejected before reading.
@@ -50,7 +50,7 @@ func TestOversizedBodyRejected(t *testing.T) {
 // TestOversizedLineRejected: one NDJSON line beyond -max-line is a 400
 // naming the limit — the scanner's buffer never grows past the cap.
 func TestOversizedLineRejected(t *testing.T) {
-	ts := httptest.NewServer(newServer(baseConfig(), limits{MaxLine: 64}).handler())
+	ts := httptest.NewServer(New(baseConfig(), Options{MaxLine: 64}).Handler())
 	defer ts.Close()
 
 	body := strings.Repeat("x", 65) + "\n"
@@ -73,7 +73,7 @@ func TestOversizedLineRejected(t *testing.T) {
 // /metrics, and the slot frees once the first session ends.
 func TestSessionCapShedsWith429(t *testing.T) {
 	baseline := runtime.NumGoroutine()
-	ts := httptest.NewServer(newServer(baseConfig(), limits{MaxSessions: 1}).handler())
+	ts := httptest.NewServer(New(baseConfig(), Options{MaxSessions: 1}).Handler())
 	client := &http.Client{}
 
 	// Session 1: feed a full chunk so output proves the handler is live,
@@ -145,8 +145,8 @@ func TestSessionCapShedsWith429(t *testing.T) {
 // startDrain, then 503, with new sessions refused while /healthz stays
 // green (a draining process is alive, just not routable).
 func TestReadyzFlipsOnDrain(t *testing.T) {
-	app := newServer(baseConfig(), limits{})
-	ts := httptest.NewServer(app.handler())
+	app := New(baseConfig(), Options{})
+	ts := httptest.NewServer(app.Handler())
 	defer ts.Close()
 
 	status := func(path string) int {
@@ -162,7 +162,7 @@ func TestReadyzFlipsOnDrain(t *testing.T) {
 	if code := status("/readyz"); code != http.StatusOK {
 		t.Fatalf("/readyz before drain: %d", code)
 	}
-	app.startDrain()
+	app.StartDrain()
 	if code := status("/readyz"); code != http.StatusServiceUnavailable {
 		t.Fatalf("/readyz during drain: %d, want 503", code)
 	}
@@ -185,7 +185,7 @@ func TestReadyzFlipsOnDrain(t *testing.T) {
 // and the server unwinds its goroutines.
 func TestSessionTimeoutEndsSession(t *testing.T) {
 	baseline := runtime.NumGoroutine()
-	ts := httptest.NewServer(newServer(baseConfig(), limits{SessionTimeout: 300 * time.Millisecond}).handler())
+	ts := httptest.NewServer(New(baseConfig(), Options{SessionTimeout: 300 * time.Millisecond}).Handler())
 	client := &http.Client{}
 
 	inputs := sessionInputs(t, "facetrack", 24)
@@ -213,7 +213,7 @@ func TestSessionTimeoutEndsSession(t *testing.T) {
 	if len(lines) == 0 {
 		t.Fatal("timed-out session returned nothing")
 	}
-	var tr sessionTrailer
+	var tr Trailer
 	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &tr); err != nil {
 		t.Fatalf("last line is not a trailer: %q", lines[len(lines)-1])
 	}
@@ -229,7 +229,7 @@ func TestSessionTimeoutEndsSession(t *testing.T) {
 // TestPanicMiddlewareRecovers: a panic below the middleware becomes a 500
 // and a counted event, not a crashed connection goroutine.
 func TestPanicMiddlewareRecovers(t *testing.T) {
-	app := newServer(baseConfig(), limits{})
+	app := New(baseConfig(), Options{})
 	h := app.recovered(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic("handler bug")
 	}))
@@ -278,7 +278,7 @@ func (l *lockedLog) String() string {
 // keep-alive read panicked with "invalid concurrent Body.Read call".
 func TestKeepAliveSurvivesEarlyError(t *testing.T) {
 	errLog := new(lockedLog)
-	ts := httptest.NewUnstartedServer(newServer(baseConfig(), limits{MaxLine: 1024}).handler())
+	ts := httptest.NewUnstartedServer(New(baseConfig(), Options{MaxLine: 1024}).Handler())
 	ts.Config.ErrorLog = log.New(errLog, "", 0)
 	ts.Start()
 	defer ts.Close()

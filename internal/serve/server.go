@@ -1,4 +1,10 @@
-package main
+// Package serve implements the statsserved HTTP service: NDJSON
+// streaming STATS sessions at POST /v1/stream/{benchmark}, aggregated
+// /metrics with cluster-routing load gauges, /healthz liveness, /readyz
+// routability with SIGTERM drain, and bounded-everything hardening. It
+// lives outside cmd/statsserved so that statsgate's integration tests can
+// run real in-process backends.
+package serve
 
 import (
 	"bufio"
@@ -9,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -20,12 +27,13 @@ import (
 	"gostats/internal/stream"
 )
 
-// limits bounds what one statsserved process will accept. Zero values
-// select the defaults in newServer; every limit exists so a single
-// misbehaving client — an unbounded body, an endless line, a session
-// that never finishes, or too many sessions at once — degrades into a
-// clean HTTP error instead of unbounded memory or goroutine growth.
-type limits struct {
+// Options bounds what one statsserved process will accept and labels it
+// for cluster aggregation. Zero values select the defaults in New; every
+// limit exists so a single misbehaving client — an unbounded body, an
+// endless line, a session that never finishes, or too many sessions at
+// once — degrades into a clean HTTP error instead of unbounded memory or
+// goroutine growth.
+type Options struct {
 	// MaxSessions caps concurrent streaming sessions; excess requests
 	// are shed with 429. 0 means the default (64).
 	MaxSessions int
@@ -38,11 +46,22 @@ type limits struct {
 	// MaxLine caps one NDJSON input line in bytes. 0 means
 	// bench.DefaultMaxLine.
 	MaxLine int
+	// RetryAfterBase is the base Retry-After hint attached to 429 session
+	// sheds, scaled up by current speculation-window occupancy (see
+	// retryAfterSeconds). 0 means the default (1s).
+	RetryAfterBase time.Duration
+	// Instance labels this process in /metrics (the serve/instance line)
+	// so a gateway aggregating several backends can tell them apart. ""
+	// means the default ("statsserved").
+	Instance string
 }
 
 const (
-	defaultMaxSessions = 64
-	defaultMaxBody     = 1 << 30
+	defaultMaxSessions   = 64
+	defaultMaxBody       = 1 << 30
+	defaultRetryAfter    = time.Second
+	defaultInstance      = "statsserved"
+	maxRetryAfterSeconds = 60
 )
 
 // errBadRequest marks session failures caused by the request itself
@@ -50,22 +69,24 @@ const (
 // output has been written yet.
 var errBadRequest = errors.New("bad request")
 
-// server multiplexes NDJSON streaming sessions onto per-session STATS
+// Server multiplexes NDJSON streaming sessions onto per-session STATS
 // pipelines. Every session clones the base pipeline config (optionally
 // overridden per request by query parameters) but shares one Metrics
 // collector, so /metrics aggregates across all sessions served.
-type server struct {
+type Server struct {
 	base stream.Config
 	met  *stream.Metrics
-	lim  limits
+	lim  Options
 
 	sem      chan struct{} // session slots; acquiring may not block
-	draining atomic.Bool   // readiness gate flipped by startDrain
+	draining atomic.Bool   // readiness gate flipped by StartDrain
 	shed     atomic.Int64  // sessions rejected at the cap
 	panics   atomic.Int64  // handler panics recovered by the middleware
 }
 
-func newServer(base stream.Config, lim limits) *server {
+// New builds a Server from a base pipeline config (cloned per session)
+// and serving options.
+func New(base stream.Config, lim Options) *Server {
 	if base.Metrics == nil {
 		base.Metrics = stream.NewMetrics()
 	}
@@ -78,14 +99,21 @@ func newServer(base stream.Config, lim limits) *server {
 	if lim.MaxLine == 0 {
 		lim.MaxLine = bench.DefaultMaxLine
 	}
-	s := &server{base: base, met: base.Metrics, lim: lim}
+	if lim.RetryAfterBase == 0 {
+		lim.RetryAfterBase = defaultRetryAfter
+	}
+	if lim.Instance == "" {
+		lim.Instance = defaultInstance
+	}
+	s := &Server{base: base, met: base.Metrics, lim: lim}
 	if lim.MaxSessions > 0 {
 		s.sem = make(chan struct{}, lim.MaxSessions)
 	}
 	return s
 }
 
-func (s *server) handler() http.Handler {
+// Handler returns the server's HTTP surface, wrapped in panic recovery.
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -99,7 +127,7 @@ func (s *server) handler() http.Handler {
 // counted and answered with a 500 instead of tearing down the
 // connection-serving goroutine silently. http.ErrAbortHandler is the
 // net/http-sanctioned way to abort a response and is re-raised.
-func (s *server) recovered(next http.Handler) http.Handler {
+func (s *Server) recovered(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			v := recover()
@@ -120,13 +148,13 @@ func (s *server) recovered(next http.Handler) http.Handler {
 	})
 }
 
-// startDrain flips the server into draining mode: /readyz turns not-ready
+// StartDrain flips the server into draining mode: /readyz turns not-ready
 // so load balancers stop routing here, and new sessions are refused while
 // in-flight ones run to completion (bounded by the caller's grace
 // period).
-func (s *server) startDrain() { s.draining.Store(true) }
+func (s *Server) StartDrain() { s.draining.Store(true) }
 
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
@@ -134,7 +162,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleReadyz is the routability signal, distinct from /healthz
 // liveness: a draining process is still alive (don't restart it) but must
 // not receive new sessions.
-func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.draining.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)
@@ -144,16 +172,60 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.met.WriteText(w)
 	// Serving-layer counters, kept out of the engine collector: they
 	// describe this HTTP front end, not the pipelines behind it.
 	fmt.Fprintf(w, "serve/counter[handler_panics]=%d\n", s.panics.Load())
 	fmt.Fprintf(w, "serve/counter[sessions_shed]=%d\n", s.shed.Load())
+	// Load signals for cluster routing (statsgate's least-loaded policy
+	// scrapes these): current session slots held, the cap, how many
+	// chunks are speculating right now across every in-flight session's
+	// window, and whether this process is draining. One line each,
+	// machine-parseable as serve/gauge[name]=value; serve/instance
+	// distinguishes backends once a gateway aggregates several of them.
+	fmt.Fprintf(w, "serve/instance=%s\n", s.lim.Instance)
+	fmt.Fprintf(w, "serve/gauge[active_sessions]=%d\n", len(s.sem))
+	fmt.Fprintf(w, "serve/gauge[max_sessions]=%d\n", cap(s.sem))
+	fmt.Fprintf(w, "serve/gauge[window_occupancy]=%d\n", s.met.InFlight.Load())
+	draining := 0
+	if s.draining.Load() {
+		draining = 1
+	}
+	fmt.Fprintf(w, "serve/gauge[draining]=%d\n", draining)
 }
 
-func (s *server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+// retryAfterSeconds computes the Retry-After hint sent with a 429 shed.
+// The flag-tunable base (-retry-after) is scaled by how saturated the
+// in-flight sessions' speculation windows are: a server whose sessions
+// all have full windows (InFlight chunks ≈ active·Workers) is further
+// from freeing a session slot than one shedding on a brief spike, so its
+// clients — and the gateway using this hint to schedule re-routes — back
+// off for up to twice the base. Clamped to [1s, 60s].
+func (s *Server) retryAfterSeconds() int {
+	base := s.lim.RetryAfterBase.Seconds()
+	active := s.met.Active.Load()
+	occ := 0.0
+	if active > 0 {
+		window := s.base.Workers
+		if window <= 0 {
+			window = 4 // the pipeline default
+		}
+		occ = float64(s.met.InFlight.Load()) / float64(active*int64(window))
+		occ = math.Min(occ, 1)
+	}
+	secs := int(math.Ceil(base * (1 + occ)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > maxRetryAfterSeconds {
+		secs = maxRetryAfterSeconds
+	}
+	return secs
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string][]string{
 		"streamable": bench.CodecNames(),
@@ -161,22 +233,22 @@ func (s *server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// sessionTrailer is the final NDJSON line of every session: it tells the
+// Trailer is the final NDJSON line of every session: it tells the
 // client the stream drained (or why it didn't) and summarizes the run.
-type sessionTrailer struct {
+type Trailer struct {
 	Done      bool         `json:"done"`
 	Benchmark string       `json:"benchmark"`
 	Stats     stream.Stats `json:"stats"`
 	Error     string       `json:"error,omitempty"`
 	// Attribution is the six-category overhead breakdown of the session,
 	// present when the request asked for it with attrib=1.
-	Attribution *attribution `json:"attribution,omitempty"`
+	Attribution *Attribution `json:"attribution,omitempty"`
 }
 
-// attribution is the paper's speedup-loss decomposition rendered for the
+// Attribution is the paper's speedup-loss decomposition rendered for the
 // trailer: how much of the ideal (linear) speedup the session achieved
 // and where the rest went.
-type attribution struct {
+type Attribution struct {
 	Ideal        float64            `json:"ideal"`
 	Measured     float64            `json:"measured"`
 	TotalLostPct float64            `json:"totalLostPct"`
@@ -185,13 +257,13 @@ type attribution struct {
 }
 
 // attribute folds a session recorder into the trailer's attribution.
-func attribute(rec *engine.Recorder, workers int) *attribution {
+func attribute(rec *engine.Recorder, workers int) *Attribution {
 	cores := workers + 1 // worker pool plus the commit frontier
 	b, err := rec.Breakdown(cores)
 	if err != nil {
-		return &attribution{Error: err.Error()}
+		return &Attribution{Error: err.Error()}
 	}
-	a := &attribution{
+	a := &Attribution{
 		Ideal:        b.Ideal,
 		Measured:     b.Measured,
 		TotalLostPct: b.TotalLostPct,
@@ -212,7 +284,7 @@ func attribute(rec *engine.Recorder, workers int) *attribution {
 // 4xx when the request itself is at fault (malformed or oversized
 // input), 429 at the session cap, 503 while draining. Once output has
 // streamed, errors travel in the trailer line instead.
-func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
@@ -223,7 +295,7 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 			defer func() { <-s.sem }()
 		default:
 			s.shed.Add(1)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			http.Error(w, "session capacity reached", http.StatusTooManyRequests)
 			return
 		}
@@ -414,7 +486,7 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if !started {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	}
-	tr := sessionTrailer{Done: true, Benchmark: name, Stats: stats}
+	tr := Trailer{Done: true, Benchmark: name, Stats: stats}
 	if rec != nil {
 		workers := cfg.Workers
 		if workers == 0 {

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bufio"
@@ -101,7 +101,7 @@ func wantLines(t *testing.T, name string, cfg stream.Config, inputs []core.Input
 
 // runSession POSTs one NDJSON session and returns the output lines and
 // the parsed trailer.
-func runSession(t *testing.T, url, name string, body []byte) ([]string, sessionTrailer) {
+func runSession(t *testing.T, url, name string, body []byte) ([]string, Trailer) {
 	t.Helper()
 	resp, err := http.Post(url+"/v1/stream/"+name, "application/x-ndjson", bytes.NewReader(body))
 	if err != nil {
@@ -124,7 +124,7 @@ func runSession(t *testing.T, url, name string, body []byte) ([]string, sessionT
 	if len(lines) == 0 {
 		t.Fatalf("session %s: empty response", name)
 	}
-	var tr sessionTrailer
+	var tr Trailer
 	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &tr); err != nil {
 		t.Fatalf("session %s: bad trailer %q: %v", name, lines[len(lines)-1], err)
 	}
@@ -156,7 +156,7 @@ func checkGoroutines(t *testing.T, baseline int) {
 func TestServeConcurrentSessions(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 	cfg := baseConfig()
-	ts := httptest.NewServer(newServer(cfg, limits{}).handler())
+	ts := httptest.NewServer(New(cfg, Options{}).Handler())
 
 	sessions := []struct {
 		name string
@@ -224,7 +224,7 @@ func TestServeConcurrentSessions(t *testing.T) {
 // pipeline or handler goroutines left behind.
 func TestSessionDrainsOnCancel(t *testing.T) {
 	baseline := runtime.NumGoroutine()
-	ts := httptest.NewServer(newServer(baseConfig(), limits{}).handler())
+	ts := httptest.NewServer(New(baseConfig(), Options{}).Handler())
 	client := &http.Client{}
 
 	inputs := sessionInputs(t, "facetrack", 48)
@@ -261,7 +261,7 @@ func TestSessionDrainsOnCancel(t *testing.T) {
 // liveness, benchmark discovery, aggregated metrics, and rejection of
 // unknown benchmarks and bad parameters.
 func TestServeEndpoints(t *testing.T) {
-	ts := httptest.NewServer(newServer(baseConfig(), limits{}).handler())
+	ts := httptest.NewServer(New(baseConfig(), Options{}).Handler())
 	defer ts.Close()
 
 	get := func(path string) (int, string) {
