@@ -49,6 +49,7 @@ func main() {
 	perfOut := flag.String("perf-out", "BENCH_streaming.json", "with -perf, write the JSON report here")
 	perfN := flag.Int("perf-n", 400, "with -perf, cap the inputs per benchmark (0: native length)")
 	perfBench := flag.String("perf-benchmarks", "facetrack,streamcluster,streamclassifier", "with -perf, comma-separated benchmarks to measure")
+	perfRepeat := flag.Int("perf-repeat", 1, "with -perf, repeat each measured workload N times (per-op figures are averaged; use with -cpuprofile for enough samples to flamegraph)")
 	autotune := flag.Bool("autotune", false, "run batch workloads with online adaptive chunk sizing; with -perf, also adds adaptive rows to the report")
 	prof := profiling.Register()
 	flag.Parse()
@@ -58,9 +59,12 @@ func main() {
 		fatalf("%v", err)
 	}
 	defer stopProf()
+	// fatalf exits without unwinding; flush any active profile first so a
+	// failing run still leaves a usable -cpuprofile behind.
+	atExit = stopProf
 
 	if *perf {
-		if err := runPerf(strings.Split(*perfBench, ","), *perfN, *seed, *inputSeed, *perfOut, *autotune); err != nil {
+		if err := runPerf(strings.Split(*perfBench, ","), *perfN, *seed, *inputSeed, *perfOut, *autotune, *perfRepeat); err != nil {
 			fatalf("perf: %v", err)
 		}
 		fmt.Printf("perf report written to %s\n", *perfOut)
@@ -157,7 +161,13 @@ func main() {
 	}
 }
 
+// atExit runs before fatalf's os.Exit (deferred cleanups don't).
+var atExit func()
+
 func fatalf(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "statsbench: "+format+"\n", args...)
+	if atExit != nil {
+		atExit()
+	}
 	os.Exit(1)
 }

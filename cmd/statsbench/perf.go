@@ -60,12 +60,24 @@ type perfRow struct {
 	Overheads *engine.OverheadTotals `json:"overheads,omitempty"`
 }
 
-// goBenchRow is one committed `go test -bench` allocator budget; CI's
-// bench-guard step (cmd/benchguard) fails when a run exceeds it by more
-// than its tolerance.
+// goBenchRow is one committed `go test -bench` budget; CI's bench-guard
+// step (cmd/benchguard) fails when a run exceeds it by more than its
+// tolerance. NsPerOp, when nonzero, is gated too (with its own, looser
+// tolerance — wall clock is noisier than allocator traffic).
 type goBenchRow struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+}
+
+// stageLatency is one pipeline stage's latency summary: observation
+// count and p50/p95/p99 interpolated from the engine's power-of-two
+// bins (engine.Metrics.Percentile).
+type stageLatency struct {
+	Count int64   `json:"count"`
+	P50NS float64 `json:"p50_ns"`
+	P95NS float64 `json:"p95_ns"`
+	P99NS float64 `json:"p99_ns"`
 }
 
 // perfReport is the BENCH_streaming.json schema.
@@ -79,27 +91,40 @@ type perfReport struct {
 	// it deliberately when a PR moves the allocator budget.
 	GoBench map[string]goBenchRow `json:"go_bench_baseline,omitempty"`
 	Rows    map[string]perfRow    `json:"rows"`
+	// Latency holds per-stage latency percentiles for the streaming rows,
+	// keyed like Rows. cmd/benchguard gates the p99s against a freshly
+	// measured report.
+	Latency map[string]map[string]stageLatency `json:"latency,omitempty"`
+	// Gateway is the statsgate cluster-simulation block; it is owned by
+	// `statsgate -sim -json` and carried forward verbatim here.
+	Gateway json.RawMessage `json:"gateway,omitempty"`
 }
 
 // runPerf measures every requested benchmark in batch mode (with and
 // without the engine event stream attached) and in streaming mode at 1, 4,
 // and GOMAXPROCS workers — plus, with autotune, the batch workloads under
 // online adaptive chunk sizing — and writes the report.
-func runPerf(names []string, nInputs int, seed, inputSeed uint64, outPath string, autotune bool) error {
+func runPerf(names []string, nInputs int, seed, inputSeed uint64, outPath string, autotune bool, repeat int) error {
 	report := perfReport{
 		Note:     "per-op figures are per input processed on core.NativeExec; regenerate with: go run ./cmd/statsbench -perf",
 		Go:       runtime.Version(),
 		MaxProcs: runtime.GOMAXPROCS(0),
 		Baseline: prePRBaseline,
 		Rows:     map[string]perfRow{},
+		Latency:  map[string]map[string]stageLatency{},
 	}
-	// The go-bench allocator budget is a committed reference, not a
-	// measurement of this run: carry it forward from the existing report.
+	// The go-bench budget and the gateway simulation block are committed
+	// references owned by other tools, not measurements of this run: carry
+	// them forward from the existing report.
 	if old, err := os.ReadFile(outPath); err == nil {
 		var prev perfReport
 		if json.Unmarshal(old, &prev) == nil {
 			report.GoBench = prev.GoBench
+			report.Gateway = prev.Gateway
 		}
+	}
+	if repeat < 1 {
+		repeat = 1
 	}
 	workerCounts := dedupInts([]int{1, 4, runtime.GOMAXPROCS(0)})
 	for _, name := range names {
@@ -112,7 +137,7 @@ func runPerf(names []string, nInputs int, seed, inputSeed uint64, outPath string
 			inputs = inputs[:nInputs]
 		}
 
-		row, err := perfBatch(b, inputs, seed)
+		row, err := perfBatch(b, inputs, seed, repeat)
 		if err != nil {
 			return err
 		}
@@ -123,7 +148,7 @@ func runPerf(names []string, nInputs int, seed, inputSeed uint64, outPath string
 		// The same batch run with the engine event stream attached: the
 		// perf trajectory of the instrumented scheduler path, including
 		// its countable overhead totals.
-		row, err = perfBatchEvents(b, inputs, seed)
+		row, err = perfBatchEvents(b, inputs, seed, repeat)
 		if err != nil {
 			return err
 		}
@@ -132,11 +157,13 @@ func runPerf(names []string, nInputs int, seed, inputSeed uint64, outPath string
 			name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
 
 		for _, w := range workerCounts {
-			row, err := perfStream(b, inputs, w, seed)
+			key := fmt.Sprintf("stream/%s/workers=%d", name, w)
+			row, lat, err := perfStream(b, inputs, w, seed, repeat)
 			if err != nil {
 				return err
 			}
-			report.Rows[fmt.Sprintf("stream/%s/workers=%d", name, w)] = row
+			report.Rows[key] = row
+			report.Latency[key] = lat
 			faultNote := ""
 			if row.Faults > 0 {
 				faultNote = fmt.Sprintf("  faults %d retries %d degraded %d",
@@ -144,6 +171,12 @@ func runPerf(names []string, nInputs int, seed, inputSeed uint64, outPath string
 			}
 			fmt.Printf("stream %-18s workers=%-2d %10.0f ns/op %10.0f B/op %8.1f allocs/op  commit %.2f%s\n",
 				name, w, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.CommitRate, faultNote)
+			for _, st := range []string{"speculate", "validate", "commit"} {
+				if l, ok := lat[st]; ok {
+					fmt.Printf("       %-18s   %-12s p50 %s  p95 %s  p99 %s\n",
+						"", st, time.Duration(l.P50NS), time.Duration(l.P95NS), time.Duration(l.P99NS))
+				}
+			}
 		}
 
 		if autotune {
@@ -177,20 +210,25 @@ func measure(fn func() error) (time.Duration, uint64, uint64, error) {
 	return el, m1.Mallocs - m0.Mallocs, m1.TotalAlloc - m0.TotalAlloc, err
 }
 
-func perfBatch(b bench.Benchmark, inputs []core.Input, seed uint64) (perfRow, error) {
+func perfBatch(b bench.Benchmark, inputs []core.Input, seed uint64, repeat int) (perfRow, error) {
 	// Match the streaming shape: one chunk per 16 inputs.
 	chunks := max(1, len(inputs)/16)
 	cfg := core.Config{Chunks: chunks, Lookback: 4, ExtraStates: 1, InnerWidth: 1, Seed: seed}
 	var rep *core.Report
 	el, mallocs, bytes, err := measure(func() error {
-		var err error
-		rep, err = core.Run(core.NewNativeExec(), b, inputs, cfg)
-		return err
+		for it := 0; it < repeat; it++ {
+			var err error
+			rep, err = core.Run(core.NewNativeExec(), b, inputs, cfg)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
 	})
 	if err != nil {
 		return perfRow{}, err
 	}
-	n := float64(len(inputs))
+	n := float64(len(inputs) * repeat)
 	commits, aborts := int64(rep.Commits), int64(rep.Aborts)
 	return perfRow{
 		Mode: "batch", Benchmark: b.Name(), Workers: chunks, Inputs: len(inputs),
@@ -205,19 +243,37 @@ func perfBatch(b bench.Benchmark, inputs []core.Input, seed uint64) (perfRow, er
 // stream attached (a Counters sink): the instrumented engine path. Commit,
 // abort and overhead figures are rendered from the event stream, not from
 // scheduler-private state.
-func perfBatchEvents(b bench.Benchmark, inputs []core.Input, seed uint64) (perfRow, error) {
+func perfBatchEvents(b bench.Benchmark, inputs []core.Input, seed uint64, repeat int) (perfRow, error) {
 	chunks := max(1, len(inputs)/16)
 	cfg := engine.Config{Chunks: chunks, Lookback: 4, ExtraStates: 1, InnerWidth: 1, Seed: seed}
-	var ctr engine.Counters
-	sched := &engine.BatchScheduler{Sink: &ctr}
+	var snap engine.CounterSnapshot
 	el, mallocs, bytes, err := measure(func() error {
-		_, err := sched.RunSlice(b, inputs, cfg)
-		return err
+		for it := 0; it < repeat; it++ {
+			var ctr engine.Counters
+			sched := &engine.BatchScheduler{Sink: &ctr}
+			if _, err := sched.RunSlice(b, inputs, cfg); err != nil {
+				return err
+			}
+			snap = ctr.Snapshot()
+		}
+		return nil
 	})
 	if err != nil {
 		return perfRow{}, err
 	}
-	return counterRow("batch-events", b.Name(), chunks, len(inputs), el, mallocs, bytes, ctr.Snapshot(), 0), nil
+	row := counterRow("batch-events", b.Name(), chunks, len(inputs), el, mallocs, bytes, snap, 0)
+	return scalePerOp(row, repeat), nil
+}
+
+// scalePerOp divides a row's per-op figures by the repeat count: the
+// measured totals covered repeat runs of the same Inputs-long workload.
+func scalePerOp(row perfRow, repeat int) perfRow {
+	if repeat > 1 {
+		row.NsPerOp /= float64(repeat)
+		row.BytesPerOp /= float64(repeat)
+		row.AllocsPerOp /= float64(repeat)
+	}
+	return row
 }
 
 // perfAdaptive measures the batch workload under online adaptive chunk
@@ -237,42 +293,72 @@ func perfAdaptive(b bench.Benchmark, inputs []core.Input, seed uint64) (perfRow,
 	return counterRow("adaptive", b.Name(), workers, len(inputs), el, mallocs, bytes, ctr.Snapshot(), 0), nil
 }
 
-func perfStream(b bench.Benchmark, inputs []core.Input, workers int, seed uint64) (perfRow, error) {
-	var stats stream.Stats
-	var ctr engine.Counters
+// teeSink fans the event stream to the counters and the latency
+// collector in one pass.
+type teeSink struct{ a, b engine.Sink }
+
+func (t teeSink) Event(e engine.Event) { t.a.Event(e); t.b.Event(e) }
+
+// perfStream measures the streaming pipeline and summarizes its
+// per-stage latency distribution (percentiles pooled across repeats).
+func perfStream(b bench.Benchmark, inputs []core.Input, workers int, seed uint64, repeat int) (perfRow, map[string]stageLatency, error) {
+	var snap engine.CounterSnapshot
+	var reused int64
+	met := engine.NewMetrics()
 	el, mallocs, bytes, err := measure(func() error {
-		p, err := stream.New(context.Background(), b, stream.Config{
-			ChunkSize:   16,
-			Lookback:    4,
-			ExtraStates: 1,
-			Workers:     workers,
-			Seed:        seed,
-			Sink:        &ctr,
-		})
-		if err != nil {
-			return err
-		}
-		done := make(chan struct{})
-		go func() {
-			defer close(done)
-			for range p.Outputs() {
-			}
-		}()
-		for _, in := range inputs {
-			if err := p.Push(context.Background(), in); err != nil {
+		for it := 0; it < repeat; it++ {
+			var ctr engine.Counters
+			p, err := stream.New(context.Background(), b, stream.Config{
+				ChunkSize:   16,
+				Lookback:    4,
+				ExtraStates: 1,
+				Workers:     workers,
+				Seed:        seed,
+				Sink:        teeSink{&ctr, met},
+			})
+			if err != nil {
 				return err
 			}
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for range p.Outputs() {
+				}
+			}()
+			for _, in := range inputs {
+				if err := p.Push(context.Background(), in); err != nil {
+					return err
+				}
+			}
+			p.Close()
+			<-done
+			stats, err := p.Wait()
+			if err != nil {
+				return err
+			}
+			snap, reused = ctr.Snapshot(), stats.Reused
 		}
-		p.Close()
-		<-done
-		stats, err = p.Wait()
-		return err
+		return nil
 	})
 	if err != nil {
-		return perfRow{}, err
+		return perfRow{}, nil, err
 	}
-	row := counterRow("stream", b.Name(), workers, len(inputs), el, mallocs, bytes, ctr.Snapshot(), stats.Reused)
-	return row, nil
+	row := counterRow("stream", b.Name(), workers, len(inputs), el, mallocs, bytes, snap, reused)
+	lat := map[string]stageLatency{}
+	for _, s := range []engine.Stage{engine.StageIngestWait, engine.StageSpeculate,
+		engine.StageValidate, engine.StageCommit, engine.StageReexec} {
+		l := met.Latency(s)
+		if l.Count == 0 {
+			continue
+		}
+		lat[s.String()] = stageLatency{
+			Count: l.Count,
+			P50NS: float64(l.P50.Nanoseconds()),
+			P95NS: float64(l.P95.Nanoseconds()),
+			P99NS: float64(l.P99.Nanoseconds()),
+		}
+	}
+	return scalePerOp(row, repeat), lat, nil
 }
 
 // counterRow folds one measured run and its engine counter snapshot into a

@@ -99,6 +99,13 @@ func (b *BodyTrack) Fresh(r *rng.Stream) core.State {
 	return trackutil.NewCloud(particles, poseDims, nil, 3.0, r)
 }
 
+// FreshInto implements core.FreshRecycler: Fresh rebuilt into a retired
+// cloud's buffers, with the identical draw sequence.
+func (b *BodyTrack) FreshInto(dst core.State, r *rng.Stream) core.State {
+	d, _ := dst.(*trackutil.Cloud)
+	return trackutil.FreshCloudInto(d, particles, poseDims, nil, 3.0, r)
+}
+
 // Update runs the annealed filter on one frame.
 func (b *BodyTrack) Update(stv core.State, in core.Input, r *rng.Stream) (core.State, core.Output) {
 	c := stv.(*trackutil.Cloud)

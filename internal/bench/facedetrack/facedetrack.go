@@ -100,6 +100,13 @@ func (f *FaceDetTrack) Fresh(r *rng.Stream) core.State {
 	return trackutil.NewCloud(particles, poseDims, nil, 2.0, r)
 }
 
+// FreshInto implements core.FreshRecycler: Fresh rebuilt into a retired
+// cloud's buffers, with the identical draw sequence.
+func (f *FaceDetTrack) FreshInto(dst core.State, r *rng.Stream) core.State {
+	d, _ := dst.(*trackutil.Cloud)
+	return trackutil.FreshCloudInto(d, particles, poseDims, nil, 2.0, r)
+}
+
 // Update runs detection or, when it fails, the particle filter.
 func (f *FaceDetTrack) Update(stv core.State, in core.Input, r *rng.Stream) (core.State, core.Output) {
 	c := stv.(*trackutil.Cloud)

@@ -93,6 +93,13 @@ func (f *FaceTrack) Fresh(r *rng.Stream) core.State {
 	return trackutil.NewCloud(particles, poseDims, nil, 2.0, r)
 }
 
+// FreshInto implements core.FreshRecycler: Fresh rebuilt into a retired
+// cloud's buffers, with the identical draw sequence.
+func (f *FaceTrack) FreshInto(dst core.State, r *rng.Stream) core.State {
+	d, _ := dst.(*trackutil.Cloud)
+	return trackutil.FreshCloudInto(d, particles, poseDims, nil, 2.0, r)
+}
+
 // Update runs one filter step.
 func (f *FaceTrack) Update(stv core.State, in core.Input, r *rng.Stream) (core.State, core.Output) {
 	c := stv.(*trackutil.Cloud)

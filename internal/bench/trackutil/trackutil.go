@@ -167,6 +167,37 @@ func NewCloud(n, dims int, center []float64, spread float64, r *rng.Stream) *Clo
 	return c
 }
 
+// FreshCloudInto rebuilds a cold cloud into dst's buffers, drawing from
+// r exactly as NewCloud(n, dims, center, spread, r) would — same draws,
+// same order — so the resulting cloud is indistinguishable from a fresh
+// allocation. dst may be nil or of a smaller shape, in which case this
+// degrades to NewCloud. dst keeps its scratch buffers and drops its
+// profile cache (the cache is keyed by ID, which changes).
+func FreshCloudInto(dst *Cloud, n, dims int, center []float64, spread float64, r *rng.Stream) *Cloud {
+	if dst == nil || cap(dst.P) < n*dims || cap(dst.W) < n {
+		return NewCloud(n, dims, center, spread, r)
+	}
+	dst.P = dst.P[:n*dims]
+	dst.W = dst.W[:n]
+	for i := 0; i < n; i++ {
+		for d := 0; d < dims; d++ {
+			base := 0.0
+			if center != nil {
+				base = center[d]
+			}
+			dst.P[i*dims+d] = base + spread*r.NormFloat64()
+		}
+		dst.W[i] = 1 / float64(n)
+	}
+	dst.N = n
+	dst.Dims = dims
+	dst.ID = idCounter.Add(1)
+	dst.Age = 0
+	dst.Cold = spread > 0.5
+	dst.profiles = [2]cloudProfile{}
+	return dst
+}
+
 // Clone deep-copies the cloud, assigning a fresh region ID.
 func (c *Cloud) Clone() *Cloud {
 	return &Cloud{
@@ -319,10 +350,19 @@ func (c *Cloud) StepT(fr Frame, procNoise, obsNoise, temper float64, r *rng.Stre
 		c.W[i] = math.Exp(logw[i] - maxLogW)
 		sum += c.W[i]
 	}
+	// Normalize and estimate in one pass. The accumulation visits
+	// (i outer, d inner) with the normalized weights, exactly as
+	// Estimate would after a separate normalize loop — bitwise-identical
+	// results, one fewer sweep over P and W.
+	est := make([]float64, dims)
 	for i := 0; i < c.N; i++ {
 		c.W[i] /= sum
+		w := c.W[i]
+		base := i * dims
+		for d := 0; d < dims; d++ {
+			est[d] += w * c.P[base+d]
+		}
 	}
-	est := c.Estimate()
 	// Systematic resampling with a random phase (the tracker's
 	// nondeterminism).
 	c.resample(r)

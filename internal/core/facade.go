@@ -56,6 +56,9 @@ type (
 type (
 	// StateRecycler lets a program recycle retired state buffers.
 	StateRecycler = engine.StateRecycler
+	// FreshRecycler lets a program rebuild cold states into retired
+	// state buffers.
+	FreshRecycler = engine.FreshRecycler
 	// Fingerprinter lets a program publish a state digest for
 	// comparison gating.
 	Fingerprinter = engine.Fingerprinter
@@ -124,8 +127,8 @@ func RunOriginal(ex Exec, p Program, inputs []Input, width int, seed uint64) *Re
 }
 
 // SpeculativeState builds a chunk's speculative start state (§III-B).
-func SpeculativeState(ex Exec, p Program, window []Input, workerRng *rng.Stream, onState func()) State {
-	return engine.SpeculativeState(ex, p, window, workerRng, onState)
+func SpeculativeState(ex Exec, p Program, pool *StatePool, window []Input, workerRng *rng.Stream, onState func()) State {
+	return engine.SpeculativeState(ex, p, pool, window, workerRng, onState)
 }
 
 // ProcessChunk runs one chunk's updates from state s.

@@ -1,5 +1,7 @@
 package engine
 
+import "gostats/internal/ring"
+
 // assemble is the chunk-assembly stage: it groups ingested inputs into
 // chunks, attaches the previous chunk's lookback window (what the next
 // chunk's alternative producer will replay), and dispatches jobs to the
@@ -7,7 +9,7 @@ package engine
 // and of the outcome window that implements backpressure.
 func (p *Pipeline) assemble() {
 	defer p.stages.Done()
-	defer close(p.jobs)
+	defer p.jobs.Close()
 	// A panic here (e.g. the program's Initial) has no chunk to charge it
 	// to; it fails the session as a whole — structured error, not a crash.
 	defer func() {
@@ -27,11 +29,13 @@ func (p *Pipeline) assemble() {
 	}
 	buf := p.slabs.takeIn(size)
 	for {
-		select {
-		case <-p.ctx.Done():
-			return
-		case in, open := <-p.in:
-			if !open {
+		// Fill the chunk: drain whatever the ingest ring already holds in
+		// one batched cursor move, then park for the rest.
+		if n := p.in.PopBatch(buf[len(buf):size]); n > 0 {
+			buf = buf[:len(buf)+n]
+		} else {
+			in, err := p.in.Pop(p.ctx.Done())
+			if err == ring.ErrClosed {
 				// End of stream: flush the final partial chunk. No sizing
 				// decision is needed for it, so no outcome wait either.
 				if len(buf) > 0 {
@@ -39,22 +43,25 @@ func (p *Pipeline) assemble() {
 				}
 				return
 			}
+			if err != nil {
+				return
+			}
 			buf = append(buf, in)
-			if len(buf) < size {
-				continue
-			}
-			if !p.dispatch(j, buf, prevWindow) {
-				return
-			}
-			prevWindow = p.chunkWindow(buf)
-			j++
-			if size, ok = p.sizeFor(j, &consumed); !ok {
-				return
-			}
-			// The dispatched job owns buf now (and prevWindow aliases its
-			// tail); start the next chunk on a recycled slab.
-			buf = p.slabs.takeIn(size)
 		}
+		if len(buf) < size {
+			continue
+		}
+		if !p.dispatch(j, buf, prevWindow) {
+			return
+		}
+		prevWindow = p.chunkWindow(buf)
+		j++
+		if size, ok = p.sizeFor(j, &consumed); !ok {
+			return
+		}
+		// The dispatched job owns buf now (and prevWindow aliases its
+		// tail); start the next chunk on a recycled slab.
+		buf = p.slabs.takeIn(size)
 	}
 }
 
@@ -67,21 +74,20 @@ func (p *Pipeline) assemble() {
 func (p *Pipeline) sizeFor(j int, consumed *int) (int, bool) {
 	need := j - p.cfg.Workers
 	for *consumed < need {
-		select {
-		case <-p.ctx.Done():
+		committed, err := p.outcomes.Pop(p.ctx.Done())
+		if err != nil {
 			return 0, false
-		case committed := <-p.outcomes:
-			*consumed++
-			if p.ctl == nil {
-				continue
-			}
-			p.ctl.Record(committed)
-			n, _, _ := p.ctl.Resizes()
-			if delta := int64(n) - p.resizes.Load(); delta > 0 {
-				p.resizes.Store(int64(n))
-				p.emit(Event{Kind: EvResize, Chunk: j, Worker: -1,
-					N: p.ctl.ChunkSize(), M: int(delta)})
-			}
+		}
+		*consumed++
+		if p.ctl == nil {
+			continue
+		}
+		p.ctl.Record(committed)
+		n, _, _ := p.ctl.Resizes()
+		if delta := int64(n) - p.resizes.Load(); delta > 0 {
+			p.resizes.Store(int64(n))
+			p.emit(Event{Kind: EvResize, Chunk: j, Worker: -1,
+				N: p.ctl.ChunkSize(), M: int(delta)})
 		}
 	}
 	if j < len(p.cfg.Plan) {
@@ -105,12 +111,10 @@ func (p *Pipeline) dispatch(j int, inputs, prevWindow []Input) bool {
 	} else {
 		jb.prevWindow = prevWindow
 	}
-	select {
-	case <-p.ctx.Done():
+	if err := p.jobs.Push(p.ctx.Done(), jb); err != nil {
 		return false
-	case p.jobs <- jb:
-		p.chunks.Add(1)
-		p.emit(Event{Kind: EvChunk, Chunk: j, Worker: -1, N: len(inputs)})
-		return true
 	}
+	p.chunks.Add(1)
+	p.emit(Event{Kind: EvChunk, Chunk: j, Worker: -1, N: len(inputs)})
+	return true
 }

@@ -419,7 +419,7 @@ func (rt *run) speculateOnce(ex Exec, g *Gang, j, attempt int, start State, myRn
 		// replaying only the last k inputs of the previous chunk from a
 		// cold state (§III-B "Generating speculative states").
 		t0 := rt.now()
-		s = SpeculativeState(ex, p, rt.window(j-1), myRng, rt.countState)
+		s = SpeculativeState(ex, p, rt.pool, rt.window(j-1), myRng, rt.countState)
 		// The injector sees the produced state before it is published:
 		// a corrupted speculative state poisons the published copy and
 		// the body run together, so boundary validation catches it.

@@ -9,10 +9,16 @@ import (
 
 // committed is the commit frontier's view of the last committed chunk:
 // the lineage state the next chunk is validated against and, on
-// mispeculation, recovered from.
+// mispeculation, recovered from. origFPs caches the original states'
+// fingerprint lanes for the next boundary's comparison wave; spec
+// records whether the lineage is the chunk's speculative result (only
+// then may a prevalidated verdict — computed against exactly those
+// original states — be consumed).
 type committed struct {
-	final State
-	origs []State
+	final   State
+	origs   []State
+	origFPs []uint64
+	spec    bool
 }
 
 // commit is the ordered commit stage: it reorders worker results into
@@ -35,53 +41,65 @@ func (p *Pipeline) commit() {
 	var prev committed
 	var prevInputs []Input // committed predecessor's chunk inputs
 	for {
-		select {
-		case <-p.ctx.Done():
+		res, err := p.results.Pop(p.ctx.Done())
+		if err != nil {
+			// ring.ErrClosed: workers are done and the ring is drained;
+			// everything dispatched has been committed in order.
+			// ring.ErrCanceled: the run was abandoned or failed.
 			return
-		case res, open := <-p.results:
-			if !open {
-				// Workers are done and the channel is drained; everything
-				// dispatched has been committed in order.
+		}
+		pending[res.job.index] = res
+		for {
+			r, ready := pending[next]
+			if !ready {
+				break
+			}
+			delete(pending, next)
+			if !p.applyCommit(r, &prev) {
 				return
 			}
-			pending[res.job.index] = res
-			for {
-				r, ready := pending[next]
-				if !ready {
-					break
-				}
-				delete(pending, next)
-				if !p.commitOne(r, &prev) {
-					return
-				}
-				// Chunk next-1's input slab is now dead: its last readers
-				// were chunk next's alternative producer (prevWindow
-				// aliases it) and chunk next's possible re-exec, both
-				// finished inside commitOne.
-				p.slabs.putIn(prevInputs)
-				prevInputs = r.job.inputs
-				next++
-			}
+			// Chunk next-1's input slab is now dead: its last readers
+			// were chunk next's alternative producer (prevWindow
+			// aliases it) and chunk next's possible re-exec, both
+			// finished inside apply.
+			p.slabs.putIn(prevInputs)
+			prevInputs = r.job.inputs
+			next++
 		}
 	}
 }
 
-// commitOne validates, commits or recovers one chunk at the frontier and
-// emits its outputs. A result whose worker exhausted its retry budget is
-// degraded here: the chunk abandons its (dead) speculation and re-executes
-// sequentially from the last committed state, exactly like a
-// mispeculation abort. commitOne returns false if the context was
-// canceled or the session failed terminally.
-func (p *Pipeline) commitOne(r *result, prev *committed) bool {
+// applyCommit validates, commits or recovers one chunk at the frontier
+// and emits its outputs. Validation prefers a verdict prevalidated on a
+// worker (frontier.go); when none is usable it runs the comparison wave
+// inline, with the fingerprint lanes the worker cached. A result whose
+// worker exhausted its retry budget is degraded here: the chunk abandons
+// its (dead) speculation and re-executes sequentially from the last
+// committed state, exactly like a mispeculation abort. applyCommit
+// returns false if the context was canceled or the session failed
+// terminally.
+func (p *Pipeline) applyCommit(r *result, prev *committed) bool {
 	j := r.job.index
 	ok := r.fault == nil
 	if j > 0 {
+		// Settle the boundary's validation slot first: after this no
+		// prevalidator can be reading prev's replicas or r's spec.
+		vOK, vN, vStart, vDur, have := p.fr.settle(j)
 		if r.fault == nil {
-			t0 := time.Now()
 			var inspected int
-			ok, inspected = matchAnyN(p.ex, p.prog, prev.origs, r.spec)
+			start, dur := vStart, vDur
+			if have && prev.spec {
+				// The verdict was computed against exactly the states the
+				// inline wave below would use; consume it.
+				ok, inspected = vOK, vN
+			} else {
+				//statslint:allow detpath wall time feeds the EvValidated Start/Dur instrumentation only; the verdict and inspected count are pure functions of the states
+				t0 := time.Now()
+				ok, inspected = matchAnyWave(p.ex, p.prog, prev.origs, prev.origFPs, r.spec, r.specFP, r.fpOK)
+				start, dur = t0, time.Since(t0) //statslint:allow detpath the duration lands in the EvValidated event below; no protocol decision reads it
+			}
 			p.emit(Event{Kind: EvValidated, Chunk: j, Worker: -1,
-				N: inspected, Matched: ok, Start: t0, Dur: time.Since(t0)})
+				N: inspected, Matched: ok, Start: start, Dur: dur})
 		}
 		// The boundary is resolved either way: the predecessor's replica
 		// originals and this chunk's published speculative copy are dead.
@@ -91,6 +109,7 @@ func (p *Pipeline) commitOne(r *result, prev *committed) bool {
 		p.pool.Release(r.spec)
 	}
 	outs, final, origs := r.outs, r.final, r.origs
+	origFPs, specLineage := r.origFPs, true
 	if !ok {
 		p.aborts.Add(1)
 		if r.fault != nil {
@@ -99,8 +118,11 @@ func (p *Pipeline) commitOne(r *result, prev *committed) bool {
 		}
 		p.emit(Event{Kind: EvAborted, Chunk: j, Worker: -1})
 		// The speculative run's states — its final (origs[0]) and its
-		// replicas — are dead; retire them before recovery
-		// re-materializes the set. (Faulted results carry none.)
+		// replicas — are dead. Spend the successor's validation slot
+		// before retiring them: a prevalidator may be mid-comparison
+		// against these very states, and once the slot is spent no new
+		// claim can reach them. (Faulted results carry none.)
+		p.fr.quiesce(j + 1)
 		for _, o := range r.origs {
 			p.pool.Release(o)
 		}
@@ -110,12 +132,29 @@ func (p *Pipeline) commitOne(r *result, prev *committed) bool {
 			p.fail(&FaultError{Fault: fault})
 			return false
 		}
+		// The recovered lineage is not the one any recorded verdict was
+		// computed against; refresh the fingerprint cache for the next
+		// boundary's inline wave.
+		specLineage = false
+		origFPs = nil
+		if p.fper != nil {
+			origFPs = make([]uint64, len(origs))
+			for i, o := range origs {
+				origFPs[i] = p.fper.Fingerprint(o)
+			}
+		}
 	} else {
 		p.commits.Add(1)
 		p.emit(Event{Kind: EvCommitted, Chunk: j, Worker: -1})
 	}
+	if j > 0 {
+		// Slot j-1 has served as boundary j's predecessor for the last
+		// time; reset it for its next lap.
+		p.fr.clear(j - 1)
+	}
 	oldFinal := prev.final
 	prev.final, prev.origs = final, origs
+	prev.origFPs, prev.spec = origFPs, specLineage
 	// The old frontier state has served as recovery base for the last
 	// time; retire it. (nil at chunk 0 — Release is nil-tolerant.)
 	p.pool.Release(oldFinal)
@@ -136,10 +175,10 @@ func (p *Pipeline) commitOne(r *result, prev *committed) bool {
 
 	// Feed the outcome window: this both opens one speculation slot for
 	// the assembler and, in commit order, drives adaptive chunk sizing.
-	select {
-	case <-p.ctx.Done():
+	// The ring's capacity exceeds the window's maximum backlog, so this
+	// push parks only if the run is being torn down.
+	if err := p.outcomes.Push(p.ctx.Done(), ok); err != nil {
 		return false
-	case p.outcomes <- ok:
 	}
 	return true
 }

@@ -159,6 +159,23 @@ func (e *NativeExec) NewCond(mu Mutex) Cond {
 // Loc returns 0: native threads have no stable core identity.
 func (e *NativeExec) Loc() int { return 0 }
 
+// CostFree marks the executor as one whose Compute/Copy/SetCat charges
+// are no-ops, so protocol loops may skip building the cost models they
+// would feed to them (see costFree).
+func (e *NativeExec) CostFree() bool { return true }
+
+// costFree reports whether ex discards cost charges entirely. The
+// protocol primitives use it to skip UpdateCost and the Compute calls
+// on their per-input hot paths: on such an executor those calls consume
+// CPU and produce nothing — the real computation inside Update is the
+// cost. The skip draws no RNG and touches no state, so executions are
+// bit-identical with and without it; the simulated executor does not
+// implement the marker and keeps full accounting.
+func costFree(ex Exec) bool {
+	cf, ok := ex.(interface{ CostFree() bool })
+	return ok && cf.CostFree()
+}
+
 type nativeMutex struct{ mu sync.Mutex }
 
 func (m *nativeMutex) Lock(Exec)   { m.mu.Lock() }

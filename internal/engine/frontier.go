@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the sharded commit frontier: a lock-free slot
+// array over which chunk boundaries are validated concurrently, out of
+// commit order, while the commit/abort decision itself is applied
+// strictly in input order by the commit stage.
+//
+// In the original design the commit stage did everything at the
+// frontier: reorder results, run MatchAny for the boundary, then commit
+// or recover. Validation of boundary j (predecessor j-1's original
+// states against chunk j's published speculative state) only needs both
+// results to exist — not for j-1 to have been applied — so the workers
+// that produced them can validate the boundary the moment the second
+// result lands, overlapping comparison work with whatever the commit
+// stage is still applying. The frontier records the verdict; the commit
+// stage consumes it when it reaches j, falling back to an inline
+// MatchAny when no verdict is usable.
+//
+// Determinism: a prevalidated verdict is consumed only when the
+// predecessor committed its speculative lineage — exactly the case
+// where the states the verdict was computed against are the states the
+// inline MatchAny would have used. MatchAny is a pure function of those
+// states, so the verdict, the inspected count (the EvValidated N that
+// feeds the compares counter), and therefore the committed output
+// sequence are identical to the sequential design. Only wall-clock
+// durations differ.
+//
+// Slot protocol. Slot j&mask tracks boundary (j-1 → j) through a tiny
+// state machine:
+//
+//	valIdle ──CAS──▶ valClaimed ──▶ valDone ──▶ valSpent
+//	   │                 │ (bail: re-verify failed)        ▲
+//	   │                 ▼                                 │
+//	   │              valIdle                              │
+//	   └────────────CAS (apply: no verdict)────────────────┘
+//
+// A prevalidator claims the slot, re-verifies that both results are
+// still the ones it loaded (the slot array is reused across laps), runs
+// the comparison, and publishes valDone. The apply path settles the
+// slot — consuming a verdict, waiting out an in-flight claim, or
+// marking it spent so no later claim can start — before it releases any
+// state a prevalidator could be reading. That settle-before-release
+// rule is what makes the concurrent reads safe: states handed to the
+// pool are never reachable from a claimable slot.
+const (
+	valIdle int32 = iota
+	valClaimed
+	valDone
+	valSpent
+)
+
+// valSlot is one frontier slot. res is the published result for the
+// slot's chunk index this lap; the verdict fields are written between
+// the claim and the valDone store, and read only after observing
+// valDone (the atomic state transitions order them).
+type valSlot struct {
+	res   atomic.Pointer[result]
+	state atomic.Int32
+	ok    bool
+	n     int
+	start time.Time
+	dur   time.Duration
+	_     pad
+}
+
+// pad keeps adjacent slots off one cache line.
+type pad [64]byte
+
+// frontier is the slot array. Its length is a power of two at least
+// Workers+2: chunk j+len is dispatched only after the assembler has
+// consumed outcome j+1, which means applyCommit(j+1) — the step that resets
+// slot j — has finished, so a slot is never claimed for two chunks at
+// once.
+type frontier struct {
+	mask  uint64
+	slots []valSlot
+}
+
+func newFrontier(workers int) *frontier {
+	n := uint64(2)
+	for n < uint64(workers)+2 {
+		n <<= 1
+	}
+	return &frontier{mask: n - 1, slots: make([]valSlot, n)}
+}
+
+func (f *frontier) slot(j int) *valSlot { return &f.slots[uint64(j)&f.mask] }
+
+// publish makes a worker's result visible to prevalidators. The commit
+// stage still receives the result through the results ring; the slot is
+// only the validation rendezvous.
+func (f *frontier) publish(r *result) { f.slot(r.job.index).res.Store(r) }
+
+// settle resolves slot j for the applyCommit path: it returns a recorded
+// verdict if one exists, waits out a prevalidator that is mid-claim,
+// and in all cases leaves the slot spent so no new claim can begin.
+// have reports whether a verdict was recorded.
+func (f *frontier) settle(j int) (ok bool, n int, start time.Time, dur time.Duration, have bool) {
+	sl := f.slot(j)
+	for {
+		if sl.state.CompareAndSwap(valIdle, valSpent) {
+			return false, 0, time.Time{}, 0, false
+		}
+		switch sl.state.Load() {
+		case valDone:
+			sl.state.Store(valSpent)
+			return sl.ok, sl.n, sl.start, sl.dur, true
+		case valSpent:
+			return false, 0, time.Time{}, 0, false
+		}
+		// valClaimed: the prevalidator is one bounded comparison away
+		// from valDone (or from bailing back to valIdle); yield to it.
+		runtime.Gosched()
+	}
+}
+
+// quiesce spends slot j without consuming its verdict, waiting out an
+// in-flight claim first. The abort path calls it on the successor slot
+// before releasing the aborted chunk's original states: a prevalidator
+// may be comparing against exactly those states, and once the slot is
+// spent no new claim can reach them.
+func (f *frontier) quiesce(j int) {
+	sl := f.slot(j)
+	for {
+		if sl.state.CompareAndSwap(valIdle, valSpent) {
+			return
+		}
+		switch sl.state.Load() {
+		case valDone, valSpent:
+			sl.state.Store(valSpent)
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// clear resets slot j for its next lap. Called by applyCommit(j+1) after
+// settling boundary j+1: slot j's result has served as that boundary's
+// predecessor for the last time.
+func (f *frontier) clear(j int) {
+	sl := f.slot(j)
+	sl.res.Store(nil)
+	sl.state.Store(valIdle)
+}
+
+// prevalidate opportunistically validates boundary (j-1 → j) on the
+// calling worker: if both results are published and healthy it claims
+// the slot, runs the fingerprint-gated comparison wave, and records the
+// verdict for the commit stage. It never blocks and never touches the
+// committed lineage; losing every race just means the frontier
+// validates inline as before.
+func (p *Pipeline) prevalidate(j int) {
+	if j <= 0 {
+		return
+	}
+	ssl, psl := p.fr.slot(j), p.fr.slot(j-1)
+	succ, pred := ssl.res.Load(), psl.res.Load()
+	if succ == nil || pred == nil || succ.job.index != j || pred.job.index != j-1 {
+		return
+	}
+	if succ.fault != nil || pred.fault != nil || succ.spec == nil {
+		return
+	}
+	if !ssl.state.CompareAndSwap(valIdle, valClaimed) {
+		return
+	}
+	// Re-verify under the claim: between our loads and the CAS the applyCommit
+	// path may have recycled either slot for a later lap, in which case
+	// the states behind our pointers can already be back in the pool.
+	if ssl.res.Load() != succ || psl.res.Load() != pred {
+		ssl.state.Store(valIdle)
+		return
+	}
+	//statslint:allow detpath wall time feeds the EvValidated Start/Dur instrumentation only; the verdict and inspected count are pure functions of the states
+	t0 := time.Now()
+	ok, n := matchAnyWave(p.ex, p.prog, pred.origs, pred.origFPs, succ.spec, succ.specFP, succ.fpOK)
+	ssl.ok, ssl.n, ssl.start, ssl.dur = ok, n, t0, time.Since(t0) //statslint:allow detpath the recorded duration lands in the EvValidated event the commit stage emits; no protocol decision reads it
+	ssl.state.Store(valDone)
+}

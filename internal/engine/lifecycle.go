@@ -4,6 +4,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"gostats/internal/rng"
 )
 
 // This file defines the optional fast-path state-lifecycle contract. The
@@ -38,6 +40,22 @@ type StateRecycler interface {
 	// contents are garbage; CloneInto must overwrite every field that
 	// Clone would set.
 	CloneInto(dst, src State) State
+}
+
+// FreshRecycler is an optional Program extension: programs whose Fresh
+// (cold) states can be rebuilt into a retired state's buffers implement
+// it to make alternative production allocation-free on the native hot
+// path — every chunk's alt producer starts from a Fresh state, so
+// without recycling those states dominate the steady-state allocation
+// profile.
+type FreshRecycler interface {
+	// FreshInto must be observably identical to Fresh(r): the same draws
+	// from r in the same order, and a resulting state indistinguishable
+	// from a freshly allocated one. dst may be nil or of an incompatible
+	// shape, in which case FreshInto must behave exactly like Fresh(r).
+	// dst's previous contents are garbage; every field Fresh would set
+	// must be overwritten.
+	FreshInto(dst State, r *rng.Stream) State
 }
 
 // Fingerprinter is an optional Program extension: a digest over the
@@ -123,6 +141,7 @@ type PoolStats struct {
 type StatePool struct {
 	prog Program
 	rec  StateRecycler
+	frec FreshRecycler
 
 	mu    sync.Mutex
 	free  []State
@@ -140,6 +159,14 @@ func NewStatePool(p Program) *StatePool {
 	sp := &StatePool{prog: p, limit: 64}
 	if r, ok := p.(StateRecycler); ok {
 		sp.rec = r
+	}
+	// Fresh recycling reuses the same free list as Clone recycling, so it
+	// only engages when retired states are actually collected — i.e. when
+	// the program also recycles clones.
+	if sp.rec != nil {
+		if f, ok := p.(FreshRecycler); ok {
+			sp.frec = f
+		}
 	}
 	return sp
 }
@@ -165,6 +192,33 @@ func (sp *StatePool) Clone(s State) State {
 		sp.reused.Add(1)
 	}
 	return sp.rec.CloneInto(dst, s)
+}
+
+// Fresh builds a cold state as the program's Fresh would, rebuilding it
+// into a retired state's buffers when the program implements
+// FreshRecycler and one is available.
+func (sp *StatePool) Fresh(r *rng.Stream) State {
+	if sp == nil {
+		panic("engine: Fresh on nil StatePool")
+	}
+	if sp.frec == nil {
+		sp.fresh.Add(1)
+		return sp.prog.Fresh(r)
+	}
+	var dst State
+	sp.mu.Lock()
+	if n := len(sp.free); n > 0 {
+		dst = sp.free[n-1]
+		sp.free[n-1] = nil
+		sp.free = sp.free[:n-1]
+	}
+	sp.mu.Unlock()
+	if dst == nil {
+		sp.fresh.Add(1)
+	} else {
+		sp.reused.Add(1)
+	}
+	return sp.frec.FreshInto(dst, r)
 }
 
 // Release retires a dead state for reuse. The caller must not touch s
@@ -218,4 +272,13 @@ func cloneVia(sp *StatePool, p Program, s State) State {
 		return sp.Clone(s)
 	}
 	return p.Clone(s)
+}
+
+// freshVia is the primitives' cold-state constructor: pooled when a pool
+// is supplied, plain otherwise.
+func freshVia(sp *StatePool, p Program, r *rng.Stream) State {
+	if sp != nil {
+		return sp.Fresh(r)
+	}
+	return p.Fresh(r)
 }

@@ -182,6 +182,85 @@ func (m *Metrics) StageCount(s Stage) int64 {
 	return n
 }
 
+// binLo returns a bin's inclusive lower bound.
+func binLo(b int) time.Duration {
+	if b == 0 {
+		return 0
+	}
+	return time.Duration(1<<(b-1)) * time.Microsecond
+}
+
+// Percentile estimates the q-quantile (q in [0,1]) of a stage's latency
+// distribution from its power-of-two bins, interpolating linearly within
+// the bin the quantile lands in. The open-ended last bin interpolates
+// toward its recorded mean instead (the only shape information the bin
+// retains). With no observations it returns 0. The estimate's error is
+// bounded by the bin width — good enough to track tail movement across
+// runs, which is what the perf harness gates on.
+func (m *Metrics) Percentile(s Stage, q float64) time.Duration {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := m.StageCount(s)
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for b := 0; b < numBins; b++ {
+		c := float64(m.stages[s].count[b].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := binLo(b)
+			var hi time.Duration
+			if b == numBins-1 {
+				// Open-ended: the mean is the best in-bin anchor we have.
+				hi = time.Duration(m.stages[s].totalNs[b].Load() / int64(c))
+				if hi < lo {
+					hi = lo
+				}
+			} else {
+				hi = time.Duration(1<<b) * time.Microsecond
+			}
+			frac := (rank - cum) / c
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	// rank == total with rounding slack: the maximum observed bin's top.
+	for b := numBins - 1; b >= 0; b-- {
+		if m.stages[s].count[b].Load() > 0 {
+			if b == numBins-1 {
+				return time.Duration(m.stages[s].totalNs[b].Load() / m.stages[s].count[b].Load())
+			}
+			return time.Duration(1<<b) * time.Microsecond
+		}
+	}
+	return 0
+}
+
+// StageLatency is a stage's summarized latency distribution.
+type StageLatency struct {
+	Count         int64
+	P50, P95, P99 time.Duration
+}
+
+// Latency summarizes a stage: observation count and interpolated
+// p50/p95/p99.
+func (m *Metrics) Latency(s Stage) StageLatency {
+	return StageLatency{
+		Count: m.StageCount(s),
+		P50:   m.Percentile(s, 0.50),
+		P95:   m.Percentile(s, 0.95),
+		P99:   m.Percentile(s, 0.99),
+	}
+}
+
 // WriteText renders the collector in a stable, grep-friendly text format
 // (one line per non-empty bin plus one line per counter), the format
 // statsserved serves at /metrics.
@@ -213,6 +292,18 @@ func (m *Metrics) WriteText(w io.Writer) error {
 			tot := time.Duration(m.stages[s].totalNs[b].Load())
 			if _, err := fmt.Fprintf(w, "stream/stage[%s]/time%s=%d %.6f\n",
 				stageNames[s], binLabel(b), n, tot.Seconds()); err != nil {
+				return err
+			}
+		}
+		if m.StageCount(s) == 0 {
+			continue
+		}
+		for _, pq := range []struct {
+			label string
+			q     float64
+		}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+			if _, err := fmt.Fprintf(w, "stream/stage[%s]/%s=%.6f\n",
+				stageNames[s], pq.label, m.Percentile(s, pq.q).Seconds()); err != nil {
 				return err
 			}
 		}

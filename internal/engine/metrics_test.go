@@ -1,0 +1,59 @@
+package engine_test
+
+import (
+	"testing"
+	"time"
+
+	"gostats/internal/engine"
+)
+
+// TestMetricsPercentile pins the binned-percentile estimator: exact
+// interpolation inside a uniform bin, bin-bounded estimates across bins,
+// the open last bin anchoring to its recorded mean, and the q clamps.
+func TestMetricsPercentile(t *testing.T) {
+	m := engine.NewMetrics()
+	if got := m.Percentile(engine.StageValidate, 0.5); got != 0 {
+		t.Fatalf("empty stage p50 = %v, want 0", got)
+	}
+
+	// 100 observations in the [1us,2us) bin: rank interpolation is exact.
+	for i := 0; i < 100; i++ {
+		m.Observe(engine.StageValidate, 1500*time.Nanosecond)
+	}
+	if got, want := m.Percentile(engine.StageValidate, 0.5), 1500*time.Nanosecond; got != want {
+		t.Fatalf("uniform-bin p50 = %v, want %v", got, want)
+	}
+
+	// Add a 10% tail two decades out: p50 stays in the body's bin, p95
+	// and p99 land inside the tail's [256us,512us) bin.
+	for i := 0; i < 11; i++ {
+		m.Observe(engine.StageValidate, 300*time.Microsecond)
+	}
+	if got := m.Percentile(engine.StageValidate, 0.5); got < time.Microsecond || got >= 2*time.Microsecond {
+		t.Fatalf("p50 = %v, want inside [1us,2us)", got)
+	}
+	for _, q := range []float64{0.95, 0.99} {
+		if got := m.Percentile(engine.StageValidate, q); got < 256*time.Microsecond || got > 512*time.Microsecond {
+			t.Fatalf("p%g = %v, want inside the tail bin [256us,512us]", q*100, got)
+		}
+	}
+	lat := m.Latency(engine.StageValidate)
+	if lat.Count != 111 || lat.P50 >= lat.P95 || lat.P95 > lat.P99 {
+		t.Fatalf("Latency = %+v, want count 111 and p50 < p95 <= p99", lat)
+	}
+
+	// q is clamped; q=1 resolves to the maximum observed bin's top.
+	if lo, hi := m.Percentile(engine.StageValidate, -1), m.Percentile(engine.StageValidate, 2); lo != m.Percentile(engine.StageValidate, 0) || hi != m.Percentile(engine.StageValidate, 1) {
+		t.Fatalf("q clamping broken: q=-1 -> %v, q=2 -> %v", lo, hi)
+	}
+
+	// The open-ended last bin has no upper edge: the estimate anchors to
+	// the bin's recorded mean instead of infinity.
+	const huge = 20 * time.Minute
+	for i := 0; i < 3; i++ {
+		m.Observe(engine.StageReexec, huge)
+	}
+	if got := m.Percentile(engine.StageReexec, 0.99); got > huge || got < huge/4 {
+		t.Fatalf("open-bin p99 = %v, want anchored near the %v mean", got, huge)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gostats/internal/autotune"
+	"gostats/internal/ring"
 	"gostats/internal/rng"
 )
 
@@ -191,6 +192,16 @@ type result struct {
 	final State
 	origs []State
 	fault *ChunkFault // retries exhausted; all other fields are dead
+
+	// Fingerprint caches for the validation wave, computed worker-side
+	// when the program implements Fingerprinter: the lanes of spec and of
+	// each original state. They let boundary validation — prevalidated on
+	// a worker or applied inline at the frontier — compare digests without
+	// recomputing them, and they are pure functions of the states, so the
+	// validation result and inspected count are unchanged.
+	specFP  uint64
+	origFPs []uint64
+	fpOK    bool
 }
 
 // Pipeline is a running streaming STATS execution. Create with NewStream,
@@ -208,11 +219,19 @@ type Pipeline struct {
 	inj    Injector    // prog's fault injector, if it carries one
 	pol    FaultPolicy // normalized fault policy
 
-	in       chan Input
-	jobs     chan *job
-	results  chan *result
-	outcomes chan bool
+	// The intra-pipeline hops are lock-free rings (internal/ring), not
+	// channels: ingest and the outcome window are single-producer
+	// single-consumer, jobs and results are multi-producer/consumer on
+	// the worker-pool side. Only the public output stream stays a
+	// channel. See the package doc in internal/ring for the memory-model
+	// and parking discipline.
+	in       *ring.SPSC[Input]
+	jobs     *ring.MPMC[*job]
+	results  *ring.MPMC[*result]
+	outcomes *ring.SPSC[bool]
 	out      chan Output
+	fr       *frontier
+	fper     Fingerprinter // prog's Fingerprinter extension, if any
 
 	ctl      *autotune.Online
 	met      *Metrics
@@ -277,24 +296,31 @@ func NewStream(ctx context.Context, prog Program, cfg StreamConfig) (*Pipeline, 
 		outer:  outer,
 		cancel: cancel,
 		pol:    cfg.Fault.normalized(),
-		in:     make(chan Input, cfg.QueueDepth),
-		jobs:   make(chan *job),
+		in:     ring.NewSPSC[Input](cfg.QueueDepth),
+		// jobs is kept at the ring minimum (2): chunks in flight are
+		// bounded by the outcome window below, not by this hop, and a
+		// small ring keeps the assembler at most one chunk ahead of the
+		// pool — the same backpressure shape the old unbuffered hand-off
+		// had.
+		jobs: ring.NewMPMC[*job](2),
 		// results holds one slot per in-flight chunk so workers never
 		// block behind the commit stage's reorder buffer.
-		results: make(chan *result, cfg.Workers+1),
+		results: ring.NewMPMC[*result](cfg.Workers + 1),
 		// outcomes is the speculation window: the assembler consumes
 		// exactly max(0, j-Workers) outcomes before sizing chunk j, which
 		// both bounds chunks in flight and keeps sizing deterministic.
 		// Capacity Workers+2 exceeds the maximum unconsumed backlog, so
-		// the commit stage never blocks here.
-		outcomes: make(chan bool, cfg.Workers+2),
+		// the commit stage never parks here.
+		outcomes: ring.NewSPSC[bool](cfg.Workers + 2),
 		out:      make(chan Output, cfg.QueueDepth),
+		fr:       newFrontier(cfg.Workers),
 		ctl:      ctl,
 		met:      cfg.Metrics,
 		sink:     combineSinks(cfg.Metrics, cfg.Sink),
 		pool:     NewStatePool(prog),
 	}
 	p.inj, _ = prog.(Injector)
+	p.fper, _ = prog.(Fingerprinter)
 	p.slabs.limit = 2*cfg.Workers + 4
 	p.emit(Event{Kind: EvSessionStart, Chunk: -1, Worker: -1, N: cfg.ChunkSize})
 
@@ -315,7 +341,7 @@ func NewStream(ctx context.Context, prog Program, cfg StreamConfig) (*Pipeline, 
 	go func() {
 		defer p.stages.Done()
 		workers.Wait()
-		close(p.results)
+		p.results.Close()
 	}()
 
 	p.stages.Add(1)
@@ -366,25 +392,27 @@ func (p *Pipeline) Push(ctx context.Context, in Input) error {
 	if p.closed.Load() {
 		return ErrClosed
 	}
-	select {
-	case p.in <- in: // fast path: queue has room
+	if p.in.TryPush(in) { // fast path: queue has room
 		p.inputs.Add(1)
 		p.emit(Event{Kind: EvIngest, Chunk: -1, Worker: -1, N: 1})
 		return nil
-	default:
 	}
 	t0 := time.Now()
-	select {
-	case p.in <- in:
+	err := p.in.PushWait(ctx.Done(), p.ctx.Done(), in)
+	switch err {
+	case nil:
 		p.emit(Event{Kind: EvIngestWait, Chunk: -1, Worker: -1, Start: t0, Dur: time.Since(t0)})
 		p.inputs.Add(1)
 		p.emit(Event{Kind: EvIngest, Chunk: -1, Worker: -1, N: 1})
 		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-p.ctx.Done():
-		if err := p.failErr(); err != nil {
-			return err
+	case ring.ErrClosed:
+		return ErrClosed
+	default: // ring.ErrCanceled: one of the two contexts fired
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if ferr := p.failErr(); ferr != nil {
+			return ferr
 		}
 		return p.ctx.Err()
 	}
@@ -395,7 +423,7 @@ func (p *Pipeline) Push(ctx context.Context, in Input) error {
 // idempotent.
 func (p *Pipeline) Close() {
 	if p.closed.CompareAndSwap(false, true) {
-		close(p.in)
+		p.in.Close()
 	}
 }
 

@@ -21,15 +21,23 @@ import (
 // speculative states"): it builds the speculative start state for a chunk
 // whose predecessor ends with window, by replaying only those inputs from
 // a cold state. workerRng is the owning chunk's worker stream; the
-// producer derives its "fresh" and "altprod" substreams from it. onState
-// is invoked once per state materialized (may be nil).
-func SpeculativeState(ex Exec, p Program, window []Input, workerRng *rng.Stream, onState func()) State {
+// producer derives its "fresh" and "altprod" substreams from it. pool,
+// when non-nil, rebuilds the cold state into a retired state's buffers
+// (FreshRecycler). onState is invoked once per state materialized (may
+// be nil).
+func SpeculativeState(ex Exec, p Program, pool *StatePool, window []Input, workerRng *rng.Stream, onState func()) State {
 	ex.SetCat(trace.CatAltProducer)
-	s := p.Fresh(workerRng.Derive("fresh"))
+	s := freshVia(pool, p, workerRng.Derive("fresh"))
 	if onState != nil {
 		onState()
 	}
 	apRng := workerRng.Derive("altprod")
+	if costFree(ex) {
+		for _, in := range window {
+			s, _ = p.Update(s, in, apRng)
+		}
+		return s
+	}
 	for _, in := range window {
 		uw := p.UpdateCost(in, s)
 		s, _ = p.Update(s, in, apRng)
@@ -56,6 +64,22 @@ func ProcessChunk(ex Exec, p Program, pool *StatePool, g *Gang, chunk []Input, s
 		outs = make([]Output, 0, len(chunk))
 	}
 	ex.SetCat(cat)
+	// With no gang and a cost-discarding executor the per-input cost
+	// model feeds nothing: Update itself is the work.
+	if costFree(ex) && g == nil {
+		for i, in := range chunk {
+			if i == snapAt {
+				snapshot = cloneVia(pool, p, s)
+				if onState != nil {
+					onState()
+				}
+			}
+			var out Output
+			s, out = p.Update(s, in, rnd)
+			outs = append(outs, out)
+		}
+		return outs, snapshot, s
+	}
 	for i, in := range chunk {
 		if i == snapAt {
 			snapshot = cloneVia(pool, p, s)
@@ -112,11 +136,17 @@ func OriginalStates(ex Exec, p Program, pool *StatePool, tag string, window []In
 			}
 			re.Copy(p.StateBytes(), myLoc, p.Name()+".orig")
 			re.SetCat(trace.CatOrigStates)
-			for _, in := range window {
-				uw := p.UpdateCost(in, sr)
-				sr, _ = p.Update(sr, in, rr)
-				re.Compute(uw.Serial)
-				re.Compute(uw.Parallel)
+			if costFree(re) {
+				for _, in := range window {
+					sr, _ = p.Update(sr, in, rr)
+				}
+			} else {
+				for _, in := range window {
+					uw := p.UpdateCost(in, sr)
+					sr, _ = p.Update(sr, in, rr)
+					re.Compute(uw.Serial)
+					re.Compute(uw.Parallel)
+				}
 			}
 			results[i] = sr
 		})
@@ -153,16 +183,37 @@ func MatchAny(ex Exec, p Program, origs []State, spec State) bool {
 // states inspected before the first match, or all of them on a miss) —
 // the count the event stream reports per EvValidated.
 func matchAnyN(ex Exec, p Program, origs []State, spec State) (bool, int) {
+	return matchAnyWave(ex, p, origs, nil, spec, 0, false)
+}
+
+// matchAnyWave is matchAnyN over a validation wave whose fingerprint
+// lanes may have been computed ahead of time: origFPs, when non-nil,
+// holds Fingerprint(origs[i]) for every original state, and specFP
+// (valid when haveFP) holds Fingerprint(spec). Cached or not, the
+// digests are the same pure functions of the same states, so the
+// result and the inspected count are exactly matchAnyN's; the cache
+// only removes recomputation from the commit frontier's critical path.
+func matchAnyWave(ex Exec, p Program, origs []State, origFPs []uint64, spec State, specFP uint64, haveFP bool) (bool, int) {
 	ex.SetCat(trace.CatCompare)
 	fp, gated := p.(Fingerprinter)
-	var specFP uint64
-	if gated {
+	if gated && !haveFP {
 		specFP = fp.Fingerprint(spec)
+	}
+	if origFPs != nil && len(origFPs) != len(origs) {
+		origFPs = nil // stale cache (recovery rebuilt the set): recompute
 	}
 	for i, o := range origs {
 		ex.Compute(p.CompareCost())
-		if gated && !DigestsMayMatch(fp.Fingerprint(o), specFP) {
-			continue
+		if gated {
+			var of uint64
+			if origFPs != nil {
+				of = origFPs[i]
+			} else {
+				of = fp.Fingerprint(o)
+			}
+			if !DigestsMayMatch(of, specFP) {
+				continue
+			}
 		}
 		if p.Match(o, spec) {
 			return true, i + 1

@@ -1,35 +1,85 @@
 package engine
 
-import "sync"
+import (
+	"math/bits"
+	"sync"
+)
 
 // slabs recycles the pipeline's per-chunk slices — input chunks built by
 // the assembler and output buffers filled by workers — through the commit
 // stage. A chunk's input slab is dead once its successor has been
 // committed (the successor's alternative producer and a possible re-exec
 // are its last readers); an output slab is dead once its outputs have
-// been flushed downstream. Both free lists are bounded: under steady
-// state the pipeline holds about one slab per in-flight chunk, and a
-// burst beyond the limit just falls back to the allocator.
+// been flushed downstream.
+//
+// Free lists are kept per power-of-two size class, seeded from the
+// chunk sizes the pipeline actually observes: every allocation is
+// rounded up to its class capacity, so when adaptive sizing retunes the
+// chunk size, retired slabs of the old class still serve requests that
+// round to the same class instead of being burned on a capacity
+// mismatch. A returned slab's capacity is always at least the requested
+// size — the assembler's batched ingest drain writes into the slack
+// directly. Each class list is bounded: under steady state the pipeline
+// holds about one slab per in-flight chunk, and a burst beyond the
+// limit just falls back to the allocator.
+const slabClasses = 16 // classes 0..15: capacities 1, 2, 4, ... 32768
+
 type slabs struct {
 	mu    sync.Mutex
-	ins   [][]Input
-	outs  [][]Output
-	limit int
+	ins   [slabClasses][][]Input
+	outs  [slabClasses][][]Output
+	limit int // per class
 }
 
-// takeIn returns an empty input slab with capacity for a chunk of the
-// given size, recycled when possible.
-func (s *slabs) takeIn(size int) []Input {
-	s.mu.Lock()
-	if n := len(s.ins); n > 0 {
-		b := s.ins[n-1]
-		s.ins[n-1] = nil
-		s.ins = s.ins[:n-1]
-		s.mu.Unlock()
-		return b[:0]
+// slabClass returns the size class for a request: the smallest c with
+// 1<<c >= size. Requests beyond the largest class share it (their slabs
+// keep their exact capacity and are reused only when large enough).
+func slabClass(size int) int {
+	if size <= 1 {
+		return 0
 	}
-	s.mu.Unlock()
-	return make([]Input, 0, size)
+	c := bits.Len(uint(size - 1))
+	if c >= slabClasses {
+		return slabClasses - 1
+	}
+	return c
+}
+
+// slabCap returns the allocation capacity for a request: its class
+// capacity, so the slab is reusable for any same-class request.
+func slabCap(size int) int {
+	if c := slabClass(size); c < slabClasses-1 {
+		return 1 << c
+	}
+	return size
+}
+
+// putSlab appends b to the class list if it has room; the caller holds
+// the slabs mutex.
+func putSlab[T any](list *[][]T, b []T, limit int) {
+	if len(*list) < limit {
+		*list = append(*list, b)
+	}
+}
+
+// takeIn returns an empty input slab with capacity at least size,
+// recycled from the request's size class when possible.
+func (s *slabs) takeIn(size int) []Input {
+	c := slabClass(size)
+	s.mu.Lock()
+	if n := len(s.ins[c]); n > 0 {
+		b := s.ins[c][n-1]
+		s.ins[c][n-1] = nil
+		s.ins[c] = s.ins[c][:n-1]
+		s.mu.Unlock()
+		if cap(b) >= size {
+			return b[:0]
+		}
+		// Largest class holds mixed capacities; this one is too small.
+	} else {
+		s.mu.Unlock()
+	}
+	return make([]Input, 0, slabCap(size))
 }
 
 // putIn retires a dead input slab. The caller must hold the only live
@@ -39,25 +89,27 @@ func (s *slabs) putIn(b []Input) {
 		return
 	}
 	s.mu.Lock()
-	if len(s.ins) < s.limit {
-		s.ins = append(s.ins, b[:0])
-	}
+	putSlab(&s.ins[slabClass(cap(b))], b[:0], s.limit)
 	s.mu.Unlock()
 }
 
-// takeOut returns an empty output slab with capacity for a chunk of the
-// given size, recycled when possible.
+// takeOut returns an empty output slab with capacity at least size,
+// recycled from the request's size class when possible.
 func (s *slabs) takeOut(size int) []Output {
+	c := slabClass(size)
 	s.mu.Lock()
-	if n := len(s.outs); n > 0 {
-		b := s.outs[n-1]
-		s.outs[n-1] = nil
-		s.outs = s.outs[:n-1]
+	if n := len(s.outs[c]); n > 0 {
+		b := s.outs[c][n-1]
+		s.outs[c][n-1] = nil
+		s.outs[c] = s.outs[c][:n-1]
 		s.mu.Unlock()
-		return b[:0]
+		if cap(b) >= size {
+			return b[:0]
+		}
+	} else {
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
-	return make([]Output, 0, size)
+	return make([]Output, 0, slabCap(size))
 }
 
 // putOut retires a flushed output slab.
@@ -66,8 +118,6 @@ func (s *slabs) putOut(b []Output) {
 		return
 	}
 	s.mu.Lock()
-	if len(s.outs) < s.limit {
-		s.outs = append(s.outs, b[:0])
-	}
+	putSlab(&s.outs[slabClass(cap(b))], b[:0], s.limit)
 	s.mu.Unlock()
 }

@@ -14,19 +14,22 @@ import (
 func (p *Pipeline) worker(slotID int) {
 	defer p.stages.Done()
 	for {
-		select {
-		case <-p.ctx.Done():
+		jb, err := p.jobs.Pop(p.ctx.Done())
+		if err != nil {
 			return
-		case jb, open := <-p.jobs:
-			if !open {
-				return
-			}
-			res := p.speculate(jb, slotID)
-			select {
-			case <-p.ctx.Done():
-				return
-			case p.results <- res:
-			}
+		}
+		res := p.speculate(jb, slotID)
+		// Publish the result to the commit frontier's validation slots,
+		// then try to validate the boundaries it completes — with its
+		// predecessor and, if the successor already ran, with that — on
+		// this worker, off the commit stage's critical path. Publish
+		// happens-before the results push, so the commit stage always
+		// finds the slot occupied when it applies this chunk.
+		p.fr.publish(res)
+		p.prevalidate(jb.index)
+		p.prevalidate(jb.index + 1)
+		if err := p.results.Push(p.ctx.Done(), res); err != nil {
+			return
 		}
 	}
 }
@@ -86,6 +89,7 @@ func (p *Pipeline) scrap(res *result) {
 		p.pool.Release(res.final)
 	}
 	res.spec, res.outs, res.final, res.origs = nil, nil, nil, nil
+	res.specFP, res.origFPs, res.fpOK = 0, nil, false
 }
 
 // speculateOnce is one execution attempt of the worker-side protocol,
@@ -129,7 +133,7 @@ func (p *Pipeline) speculateOnce(res *result, slotID, attempt int, site *FaultSi
 		}
 	} else {
 		tAlt := time.Now()
-		s = SpeculativeState(p.ex, prog, jb.prevWindow, myRng, p.countState)
+		s = SpeculativeState(p.ex, prog, p.pool, jb.prevWindow, myRng, p.countState)
 		// The injector sees the produced state before it is published: a
 		// corrupted speculative state poisons the published copy and the
 		// body run together, so boundary validation catches it.
@@ -166,6 +170,20 @@ func (p *Pipeline) speculateOnce(res *result, slotID, attempt int, site *FaultSi
 		N: len(res.origs) - 1, M: len(win), Start: tOrig, Dur: time.Since(tOrig)})
 	// The replicas have replayed the window from the snapshot; retire it.
 	p.pool.Release(snapshot)
+
+	// Cache the validation wave's fingerprint lanes while the states are
+	// hot in cache: the boundary comparisons (prevalidated on a worker or
+	// run inline at the frontier) reuse them instead of recomputing.
+	if p.fper != nil {
+		if res.spec != nil {
+			res.specFP = p.fper.Fingerprint(res.spec)
+			res.fpOK = true
+		}
+		res.origFPs = make([]uint64, len(res.origs))
+		for i, o := range res.origs {
+			res.origFPs[i] = p.fper.Fingerprint(o)
+		}
+	}
 
 	p.emit(Event{Kind: EvSpeculated, Chunk: j, Worker: slotID,
 		N: len(jb.inputs), Start: t0, Dur: time.Since(t0)})

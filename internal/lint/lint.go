@@ -110,6 +110,7 @@ type Config struct {
 func DefaultConfig() *Config {
 	return &Config{CriticalPrefixes: []string{
 		"gostats/internal/engine",
+		"gostats/internal/ring",
 		"gostats/internal/core",
 		"gostats/internal/stream",
 		"gostats/internal/bench",

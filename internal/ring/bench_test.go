@@ -1,0 +1,76 @@
+package ring
+
+import "testing"
+
+// BenchmarkRingHop measures one stage-to-stage hand-off: a producer
+// goroutine pushing and the benchmark goroutine popping, the same shape
+// as a pipeline hop. The chan variants are the baseline the rings
+// replace.
+
+func BenchmarkRingHop(b *testing.B) {
+	b.Run("spsc", func(b *testing.B) {
+		q := NewSPSC[int](64)
+		go func() {
+			for i := 0; i < b.N; i++ {
+				_ = q.Push(nil, i)
+			}
+			q.Close()
+		}()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for {
+			if _, err := q.Pop(nil); err != nil {
+				break
+			}
+		}
+	})
+	b.Run("mpmc", func(b *testing.B) {
+		q := NewMPMC[int](64)
+		go func() {
+			for i := 0; i < b.N; i++ {
+				_ = q.Push(nil, i)
+			}
+			q.Close()
+		}()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for {
+			if _, err := q.Pop(nil); err != nil {
+				break
+			}
+		}
+	})
+	b.Run("chan", func(b *testing.B) {
+		ch := make(chan int, 64)
+		go func() {
+			for i := 0; i < b.N; i++ {
+				ch <- i
+			}
+			close(ch)
+		}()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for range ch {
+		}
+	})
+	b.Run("spsc-batch", func(b *testing.B) {
+		q := NewSPSC[int](64)
+		go func() {
+			for i := 0; i < b.N; i++ {
+				_ = q.Push(nil, i)
+			}
+			q.Close()
+		}()
+		dst := make([]int, 64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for {
+			if n := q.PopBatch(dst); n > 0 {
+				continue
+			}
+			if _, err := q.Pop(nil); err != nil {
+				break
+			}
+		}
+	})
+}

@@ -14,7 +14,10 @@
 // statistically independent streams without shared mutable state.
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // splitmix64 advances the given state and returns the next output of the
 // splitmix64 generator. It is used for seeding and stream derivation.
@@ -102,25 +105,11 @@ func (r *Stream) Intn(n int) int {
 	bound := uint64(n)
 	for {
 		v := r.Uint64()
-		hi, lo := mul64(v, bound)
+		hi, lo := bits.Mul64(v, bound)
 		if lo >= bound || lo >= (-bound)%bound {
 			return int(hi)
 		}
 	}
-}
-
-// mul64 returns the 128-bit product of a and b as (hi, lo).
-func mul64(a, b uint64) (hi, lo uint64) {
-	const mask = 0xffffffff
-	aLo, aHi := a&mask, a>>32
-	bLo, bHi := b&mask, b>>32
-	t := aLo*bHi + (aLo*bLo)>>32
-	w1 := t & mask
-	w2 := t >> 32
-	w1 += aHi * bLo
-	hi = aHi*bHi + w2 + (w1 >> 32)
-	lo = a * b
-	return hi, lo
 }
 
 // Float64 returns a uniform float64 in [0, 1).
