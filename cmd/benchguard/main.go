@@ -16,8 +16,11 @@
 // allocator figures are deterministic enough to gate tightly).
 //
 // The second mode checks freshly generated statsbench -perf reports
-// against the baseline's "rows" and "latency" sections: per-row
-// ns_per_op and per-stage p99 latency, both at -ns-tolerance. That makes
+// against the baseline's "rows", "latency" and "workload" sections:
+// per-row ns_per_op and per-stage p99 latency at -ns-tolerance, and —
+// when the baseline row carries them — B/op and allocs/op at the tight
+// -tolerance. The workload rows (statsbench -workload, spec-driven
+// adaptive sessions) gate identically. That makes
 // the PR-series' latency wins a ratcheted floor, not a one-off claim.
 // -perf-input accepts several comma-separated reports and gates the
 // per-metric MINIMUM across them: on shared runners a single run's
@@ -49,9 +52,13 @@ type baselineRow struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 }
 
-// perfRow is the slice of a statsbench -perf row benchguard gates.
+// perfRow is the slice of a statsbench -perf (or -workload) row
+// benchguard gates. Allocator figures are gated at the tight -tolerance
+// when the baseline row carries them; wall clock at -ns-tolerance.
 type perfRow struct {
-	NsPerOp float64 `json:"ns_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 // stageLatency is the slice of a latency entry benchguard gates.
@@ -60,11 +67,18 @@ type stageLatency struct {
 	P99NS float64 `json:"p99_ns"`
 }
 
+// workloadBlock is the slice of the "workload" section benchguard
+// gates: the spec-driven per-benchmark rows (statsbench -workload).
+type workloadBlock struct {
+	Rows map[string]perfRow `json:"rows"`
+}
+
 // report is the slice of BENCH_streaming.json benchguard reads.
 type report struct {
-	GoBench map[string]baselineRow             `json:"go_bench_baseline"`
-	Rows    map[string]perfRow                 `json:"rows"`
-	Latency map[string]map[string]stageLatency `json:"latency"`
+	GoBench  map[string]baselineRow             `json:"go_bench_baseline"`
+	Rows     map[string]perfRow                 `json:"rows"`
+	Latency  map[string]map[string]stageLatency `json:"latency"`
+	Workload workloadBlock                      `json:"workload"`
 }
 
 func main() {
@@ -104,7 +118,7 @@ func run(baselinePath, inputPath, perfInput string, tolerance, nsTolerance, p99S
 		failures = append(failures, fs...)
 	}
 	if perfInput != "" {
-		fs, err := checkPerf(rep, perfInput, nsTolerance, p99Slack)
+		fs, err := checkPerf(rep, perfInput, tolerance, nsTolerance, p99Slack)
 		if err != nil {
 			return err
 		}
@@ -174,7 +188,7 @@ func checkBench(rep report, inputPath string, tolerance, nsTolerance float64) ([
 // (see the package doc). Only rows and stages present in both the
 // baseline and an input are compared, and latency stages with fewer
 // than 5 observations are skipped — a 2-sample p99 is noise.
-func checkPerf(rep report, perfInput string, nsTolerance, p99Slack float64) ([]string, error) {
+func checkPerf(rep report, perfInput string, tolerance, nsTolerance, p99Slack float64) ([]string, error) {
 	var fresh report
 	for _, path := range strings.Split(perfInput, ",") {
 		raw, err := os.ReadFile(strings.TrimSpace(path))
@@ -192,14 +206,21 @@ func checkPerf(rep report, perfInput string, nsTolerance, p99Slack float64) ([]s
 	}
 	checked := 0
 	var failures []string
-	for _, name := range sortedKeys(rep.Rows) {
-		base := rep.Rows[name]
-		got, ok := fresh.Rows[name]
-		if !ok {
-			continue
-		}
+	gateRow := func(name string, got, base perfRow) {
 		checked++
 		gate(&failures, name, "ns/op", got.NsPerOp, base.NsPerOp, nsTolerance, 0)
+		gate(&failures, name, "B/op", got.BytesPerOp, base.BytesPerOp, tolerance, 0)
+		gate(&failures, name, "allocs/op", got.AllocsPerOp, base.AllocsPerOp, tolerance, 0)
+	}
+	for _, name := range sortedKeys(rep.Rows) {
+		if got, ok := fresh.Rows[name]; ok {
+			gateRow(name, got, rep.Rows[name])
+		}
+	}
+	for _, name := range sortedKeys(rep.Workload.Rows) {
+		if got, ok := fresh.Workload.Rows[name]; ok {
+			gateRow(name, got, rep.Workload.Rows[name])
+		}
 	}
 	for _, name := range sortedKeys(rep.Latency) {
 		stages := rep.Latency[name]
@@ -224,19 +245,20 @@ func checkPerf(rep report, perfInput string, nsTolerance, p99Slack float64) ([]s
 }
 
 // mergeMin folds one fresh report into the accumulated best-of view:
-// the smaller ns_per_op per row, the smaller p99 per stage. A stage's
+// the smaller value per row metric, the smaller p99 per stage. A stage's
 // count keeps its largest value so the ≥5-observation guard reflects
 // the best-sampled run, not an early empty one.
 func mergeMin(acc *report, one report) {
 	if acc.Rows == nil {
 		acc.Rows, acc.Latency = one.Rows, one.Latency
+		acc.Workload = one.Workload
 		return
 	}
-	for name, row := range one.Rows {
-		prev, ok := acc.Rows[name]
-		if !ok || prev.NsPerOp <= 0 || (row.NsPerOp > 0 && row.NsPerOp < prev.NsPerOp) {
-			acc.Rows[name] = row
-		}
+	mergeRows(acc.Rows, one.Rows)
+	if acc.Workload.Rows == nil {
+		acc.Workload = one.Workload
+	} else {
+		mergeRows(acc.Workload.Rows, one.Workload.Rows)
 	}
 	for name, stages := range one.Latency {
 		prevStages, ok := acc.Latency[name]
@@ -258,6 +280,28 @@ func mergeMin(acc *report, one report) {
 			}
 			prevStages[st] = prev
 		}
+	}
+}
+
+// mergeRows takes the per-metric minimum of each row present in both
+// maps (a metric's zero means "unmeasured" and never wins).
+func mergeRows(acc, one map[string]perfRow) {
+	for name, row := range one {
+		prev, ok := acc[name]
+		if !ok {
+			acc[name] = row
+			continue
+		}
+		if row.NsPerOp > 0 && (prev.NsPerOp <= 0 || row.NsPerOp < prev.NsPerOp) {
+			prev.NsPerOp = row.NsPerOp
+		}
+		if row.BytesPerOp > 0 && (prev.BytesPerOp <= 0 || row.BytesPerOp < prev.BytesPerOp) {
+			prev.BytesPerOp = row.BytesPerOp
+		}
+		if row.AllocsPerOp > 0 && (prev.AllocsPerOp <= 0 || row.AllocsPerOp < prev.AllocsPerOp) {
+			prev.AllocsPerOp = row.AllocsPerOp
+		}
+		acc[name] = prev
 	}
 }
 

@@ -5,6 +5,7 @@
 //	statsbench [-only fig9,table1] [-benchmarks a,b] [-cores 14,28]
 //	           [-quality-runs N] [-tune N] [-out dir] [-v]
 //	statsbench -perf [-perf-out BENCH_streaming.json] [-perf-n 400]
+//	statsbench -workload spec.json [-perf-out BENCH_streaming.json]
 //
 // With no flags it reproduces every artifact (Table I, Figs. 9–16,
 // Table II) for all six benchmarks at 14 and 28 simulated cores, printing
@@ -14,6 +15,12 @@
 // and streaming protocol executions at 1/4/GOMAXPROCS workers, reporting
 // ns/op, B/op, allocs/op and commit/abort rates into BENCH_streaming.json
 // (see the README's Performance section).
+//
+// With -workload it replays a workload spec (internal/workload) through
+// real adaptive streaming pipelines — one per trace session — and records
+// per-benchmark commit/abort rates, autotune chunk-size trajectories, and
+// per-op cost, phase-binned by arrival time, into the report's
+// "workload" block.
 //
 // All modes accept -cpuprofile/-memprofile/-pprof for diagnosis.
 package main
@@ -48,7 +55,8 @@ func main() {
 	perf := flag.Bool("perf", false, "benchmark the native hot path instead of regenerating paper artifacts")
 	perfOut := flag.String("perf-out", "BENCH_streaming.json", "with -perf, write the JSON report here")
 	perfN := flag.Int("perf-n", 400, "with -perf, cap the inputs per benchmark (0: native length)")
-	perfBench := flag.String("perf-benchmarks", "facetrack,streamcluster,streamclassifier", "with -perf, comma-separated benchmarks to measure")
+	perfBench := flag.String("perf-benchmarks", "facetrack,streamcluster,streamclassifier,dedupstream", "with -perf, comma-separated benchmarks to measure")
+	workloadSpec := flag.String("workload", "", "replay this workload spec through adaptive streaming pipelines and record the \"workload\" block")
 	perfRepeat := flag.Int("perf-repeat", 1, "with -perf, repeat each measured workload N times (per-op figures are averaged; use with -cpuprofile for enough samples to flamegraph)")
 	autotune := flag.Bool("autotune", false, "run batch workloads with online adaptive chunk sizing; with -perf, also adds adaptive rows to the report")
 	prof := profiling.Register()
@@ -68,6 +76,14 @@ func main() {
 			fatalf("perf: %v", err)
 		}
 		fmt.Printf("perf report written to %s\n", *perfOut)
+		return
+	}
+
+	if *workloadSpec != "" {
+		if err := runWorkload(*workloadSpec, *perfOut, *perfRepeat); err != nil {
+			fatalf("workload: %v", err)
+		}
+		fmt.Printf("workload block written to %s\n", *perfOut)
 		return
 	}
 

@@ -98,6 +98,9 @@ type perfReport struct {
 	// Gateway is the statsgate cluster-simulation block; it is owned by
 	// `statsgate -sim -json` and carried forward verbatim here.
 	Gateway json.RawMessage `json:"gateway,omitempty"`
+	// Workload is the spec-driven streaming block; it is owned by
+	// `statsbench -workload` (see workload.go) and carried forward here.
+	Workload json.RawMessage `json:"workload,omitempty"`
 }
 
 // runPerf measures every requested benchmark in batch mode (with and
@@ -121,6 +124,7 @@ func runPerf(names []string, nInputs int, seed, inputSeed uint64, outPath string
 		if json.Unmarshal(old, &prev) == nil {
 			report.GoBench = prev.GoBench
 			report.Gateway = prev.Gateway
+			report.Workload = prev.Workload
 		}
 	}
 	if repeat < 1 {

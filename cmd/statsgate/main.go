@@ -11,6 +11,8 @@
 //	          [-sim-sessions 1000000] [-sim-backends 8] [-sim-slots 64]
 //	          [-sim-arrival 2ms] [-sim-duration 250ms]
 //	          [-sim-rate 0] [-sim-burst 1] [-sim-seed 1] [-json]
+//	          [-workload spec.json] [-sim-record trace.ndjson]
+//	          [-sim-replay trace.ndjson]
 //
 // In serving mode it proxies full-duplex NDJSON sessions at
 // POST /v1/stream/{benchmark} to a backend chosen by -policy, admits
@@ -32,7 +34,12 @@
 // admission code as the live path, at million-session scale in seconds
 // — and prints a per-policy comparison (throughput, shed rate, Jain
 // fairness). Same seed, same spec: identical decisions and metrics,
-// run after run.
+// run after run. The arrival process comes from the -sim-* flags
+// (exponential laws), or from a workload spec file (-workload, see
+// internal/workload: arbitrary distributions, mixes, modulators), or
+// verbatim from a recorded trace (-sim-replay). -sim-record writes the
+// trace the run would generate as NDJSON without simulating, so a
+// synthetic spec can be frozen, inspected, and replayed elsewhere.
 package main
 
 import (
@@ -50,6 +57,7 @@ import (
 	"time"
 
 	"gostats/internal/cluster"
+	"gostats/internal/workload"
 )
 
 func main() {
@@ -72,12 +80,24 @@ func main() {
 	simRate := flag.Float64("sim-rate", 0, "simulated admission rate in sessions/s (0: unlimited)")
 	simBurst := flag.Float64("sim-burst", 1, "simulated admission burst")
 	simSeed := flag.Uint64("sim-seed", 1, "workload trace seed")
+	simWorkload := flag.String("workload", "", "with -sim, workload spec file replacing the -sim-arrival/-sim-duration exponential laws")
+	simRecord := flag.String("sim-record", "", "write the simulator's workload trace as NDJSON to this file and exit (no simulation)")
+	simReplay := flag.String("sim-replay", "", "with -sim, replay a recorded NDJSON workload trace instead of generating arrivals")
 	jsonOut := flag.Bool("json", false, "with -sim, print results as JSON")
 	flag.Parse()
 
-	if *sim {
-		if err := runSim(simSpecFromFlags(*simSessions, *simBackends, *simSlots,
-			*simArrival, *simDuration, *simRate, *simBurst, *simSeed), *simPolicies, *jsonOut); err != nil {
+	if *sim || *simRecord != "" {
+		spec, err := simSpec(*simSessions, *simBackends, *simSlots,
+			*simArrival, *simDuration, *simRate, *simBurst, *simSeed,
+			*simWorkload, *simReplay)
+		if err == nil {
+			if *simRecord != "" {
+				err = recordSim(spec, *simRecord)
+			} else {
+				err = runSim(spec, *simPolicies, *jsonOut)
+			}
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "statsgate:", err)
 			os.Exit(1)
 		}
@@ -130,9 +150,22 @@ func main() {
 	}
 }
 
-func simSpecFromFlags(sessions, backends, slots int, arrival, duration time.Duration,
-	rate, burst float64, seed uint64) cluster.ArrivalSpec {
-	return cluster.ArrivalSpec{
+// simSpec assembles the simulator's ArrivalSpec from flags, a workload
+// spec file, or a recorded trace — the three arrival sources share one
+// validation path (ArrivalSpec.Normalized).
+func simSpec(sessions, backends, slots int, arrival, duration time.Duration,
+	rate, burst float64, seed uint64, workloadPath, replayPath string) (cluster.ArrivalSpec, error) {
+	if workloadPath != "" && replayPath != "" {
+		return cluster.ArrivalSpec{}, fmt.Errorf("-workload and -sim-replay are mutually exclusive")
+	}
+	if workloadPath != "" {
+		ws, err := workload.Load(workloadPath)
+		if err != nil {
+			return cluster.ArrivalSpec{}, err
+		}
+		return cluster.SpecFromWorkload(ws, backends, slots, rate, burst)
+	}
+	spec := cluster.ArrivalSpec{
 		Sessions:         sessions,
 		Backends:         backends,
 		SlotsPerBackend:  slots,
@@ -142,6 +175,28 @@ func simSpecFromFlags(sessions, backends, slots int, arrival, duration time.Dura
 		Burst:            burst,
 		Seed:             seed,
 	}
+	if replayPath != "" {
+		tr, err := workload.LoadTrace(replayPath)
+		if err != nil {
+			return cluster.ArrivalSpec{}, err
+		}
+		spec.Trace = tr
+	}
+	return spec, nil
+}
+
+// recordSim freezes the trace the simulator would generate for spec as
+// NDJSON, without running any policy over it.
+func recordSim(spec cluster.ArrivalSpec, path string) error {
+	tr, err := cluster.Record(spec)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d sessions (seed %d) to %s\n", len(tr.Sessions), tr.Seed, path)
+	return nil
 }
 
 // runSim compares the named policies over one workload trace and prints

@@ -35,11 +35,14 @@
 // and drains in-flight ones for -grace before force-closing.
 //
 // With -gen it instead prints a benchmark's native input stream as NDJSON
-// to stdout — a ready-made session body for curl.
+// to stdout — a ready-made session body for curl. With -gen-spec it
+// prints one session of a workload spec (internal/workload) instead:
+// -gen-session selects the session by sequence number, and the body is
+// the exact input stream that session's trace line names (benchmark,
+// length, seed), so a spec names every session byte-for-byte.
 package main
 
 import (
-	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -53,9 +56,9 @@ import (
 	"gostats/internal/bench"
 	_ "gostats/internal/bench/all"
 	"gostats/internal/profiling"
-	"gostats/internal/rng"
 	"gostats/internal/serve"
 	"gostats/internal/stream"
+	"gostats/internal/workload"
 )
 
 func main() {
@@ -80,6 +83,8 @@ func main() {
 	gen := flag.String("gen", "", "print this benchmark's inputs as NDJSON to stdout and exit")
 	n := flag.Int("n", 0, "with -gen, cap the number of input lines (0: native length)")
 	inputSeed := flag.Uint64("input-seed", 1, "with -gen, input-generation seed")
+	genSpec := flag.String("gen-spec", "", "print one session of this workload spec as NDJSON and exit")
+	genSession := flag.Int("gen-session", 0, "with -gen-spec, the session sequence number to print")
 	prof := profiling.Register()
 	flag.Parse()
 
@@ -90,8 +95,8 @@ func main() {
 	}
 	defer stopProf()
 
-	if *gen != "" {
-		if err := generate(*gen, *n, *inputSeed); err != nil {
+	if *gen != "" || *genSpec != "" {
+		if err := generate(*gen, *n, *inputSeed, *genSpec, *genSession); err != nil {
 			fmt.Fprintln(os.Stderr, "statsserved:", err)
 			os.Exit(1)
 		}
@@ -152,9 +157,25 @@ func main() {
 	}
 }
 
-// generate prints a benchmark's native input stream as NDJSON — the body
-// of a streaming session.
-func generate(name string, n int, seed uint64) error {
+// generate prints a session body as NDJSON through the workload layer:
+// either a benchmark's native input stream (-gen) or one session of a
+// workload spec's generated trace (-gen-spec/-gen-session).
+func generate(name string, n int, seed uint64, specPath string, session int) error {
+	if specPath != "" {
+		spec, err := workload.Load(specPath)
+		if err != nil {
+			return err
+		}
+		trace, err := workload.Generate(spec)
+		if err != nil {
+			return err
+		}
+		if session < 0 || session >= len(trace.Sessions) {
+			return fmt.Errorf("spec %q has sessions 0..%d, asked for %d",
+				spec.Name, len(trace.Sessions)-1, session)
+		}
+		return workload.WriteSessionNDJSON(os.Stdout, trace.Sessions[session])
+	}
 	codec, err := bench.CodecFor(name)
 	if err != nil {
 		return err
@@ -163,19 +184,5 @@ func generate(name string, n int, seed uint64) error {
 	if err != nil {
 		return err
 	}
-	inputs := b.Inputs(rng.New(seed))
-	if n > 0 && n < len(inputs) {
-		inputs = inputs[:n]
-	}
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
-	for _, in := range inputs {
-		line, err := codec.EncodeInput(in)
-		if err != nil {
-			return err
-		}
-		w.Write(line)
-		w.WriteByte('\n')
-	}
-	return nil
+	return workload.WriteNDJSON(os.Stdout, codec, workload.SessionInputs(b, n, seed))
 }

@@ -35,6 +35,10 @@ type OnlineConfig struct {
 	AbortLow float64
 	// Step is the multiplicative resize factor. Default 1.5.
 	Step float64
+	// OnResize, when set, observes every size change synchronously
+	// (from, to) — an observation hook for live trajectory collection.
+	// It must not call back into the controller.
+	OnResize func(from, to int)
 }
 
 func (c OnlineConfig) withDefaults() OnlineConfig {
@@ -75,14 +79,28 @@ func (c OnlineConfig) Validate() error {
 // (the pipeline's chunk assembler) that records outcomes in commit order
 // and reads ChunkSize at deterministic points between records.
 type Online struct {
-	cfg     OnlineConfig
-	size    int
-	epochN  int // outcomes in the current epoch
-	aborts  int // aborts in the current epoch
-	resizes int
-	grows   int
-	shrinks int
+	cfg      OnlineConfig
+	size     int
+	epochN   int // outcomes in the current epoch
+	aborts   int // aborts in the current epoch
+	outcomes int // total outcomes recorded (trajectory x-axis)
+	resizes  int
+	grows    int
+	shrinks  int
+	history  []SizeChange
 }
+
+// SizeChange is one point of the controller's chunk-size trajectory:
+// after Outcome recorded chunk outcomes, the size became Size. The first
+// entry is always {0, initial size}.
+type SizeChange struct {
+	Outcome int `json:"outcome"`
+	Size    int `json:"size"`
+}
+
+// historyCap bounds the retained trajectory; a pathological oscillation
+// drops its oldest points rather than growing without bound.
+const historyCap = 512
 
 // NewOnline builds a controller. Initial is clamped into [Min, Max].
 func NewOnline(cfg OnlineConfig) (*Online, error) {
@@ -91,13 +109,14 @@ func NewOnline(cfg OnlineConfig) (*Online, error) {
 	}
 	cfg = cfg.withDefaults()
 	size := clampInt(cfg.Initial, cfg.Min, cfg.Max)
-	return &Online{cfg: cfg, size: size}, nil
+	return &Online{cfg: cfg, size: size, history: []SizeChange{{Outcome: 0, Size: size}}}, nil
 }
 
 // Record feeds one chunk outcome (in commit order). Every Window outcomes
 // the controller closes the epoch and may resize.
 func (o *Online) Record(committed bool) {
 	o.epochN++
+	o.outcomes++
 	if !committed {
 		o.aborts++
 	}
@@ -110,17 +129,30 @@ func (o *Online) Record(committed bool) {
 	case rate >= o.cfg.AbortHigh:
 		next := clampInt(int(float64(o.size)*o.cfg.Step+0.5), o.cfg.Min, o.cfg.Max)
 		if next != o.size {
-			o.size = next
-			o.resizes++
+			o.resize(next)
 			o.grows++
 		}
 	case rate <= o.cfg.AbortLow:
 		next := clampInt(int(float64(o.size)/o.cfg.Step), o.cfg.Min, o.cfg.Max)
 		if next != o.size {
-			o.size = next
-			o.resizes++
+			o.resize(next)
 			o.shrinks++
 		}
+	}
+}
+
+// resize applies a size change, records the trajectory point, and fires
+// the observation hook.
+func (o *Online) resize(next int) {
+	from := o.size
+	o.size = next
+	o.resizes++
+	if len(o.history) >= historyCap {
+		o.history = o.history[1:]
+	}
+	o.history = append(o.history, SizeChange{Outcome: o.outcomes, Size: next})
+	if o.cfg.OnResize != nil {
+		o.cfg.OnResize(from, next)
 	}
 }
 
@@ -131,4 +163,12 @@ func (o *Online) ChunkSize() int { return o.size }
 // (and the grow/shrink split), for metrics and tests.
 func (o *Online) Resizes() (total, grows, shrinks int) {
 	return o.resizes, o.grows, o.shrinks
+}
+
+// History returns a copy of the chunk-size trajectory: the initial size
+// plus one point per resize, capped at the most recent 512 changes. Like
+// every other accessor it must be read by the controller's single owner
+// (or after the pipeline drained).
+func (o *Online) History() []SizeChange {
+	return append([]SizeChange(nil), o.history...)
 }

@@ -4,8 +4,11 @@ package all
 
 import (
 	// The six workloads of §IV-C, plus fluidanimate — the benchmark the
-	// paper evaluated and excluded (STATS gains nothing on it).
+	// paper evaluated and excluded (STATS gains nothing on it) — plus
+	// dedupstream, this repo's large-state stress case where state copy
+	// dominates body work.
 	_ "gostats/internal/bench/bodytrack"
+	_ "gostats/internal/bench/dedupstream"
 	_ "gostats/internal/bench/facedetrack"
 	_ "gostats/internal/bench/facetrack"
 	_ "gostats/internal/bench/fluidanimate"

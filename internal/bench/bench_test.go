@@ -9,9 +9,10 @@ import (
 )
 
 // wantBenchmarks are the six workloads of §IV-C plus the excluded
-// fluidanimate.
+// fluidanimate, plus this repo's large-state dedupstream.
 var wantBenchmarks = []string{
 	"bodytrack",
+	"dedupstream",
 	"facedet-and-track",
 	"facetrack",
 	"fluidanimate",
@@ -59,6 +60,7 @@ func TestContractAllBenchmarks(t *testing.T) {
 		"facetrack":         8_000,
 		"facedet-and-track": 8_000,
 		"fluidanimate":      65_536,
+		"dedupstream":       4_718_592,
 	}
 	for _, name := range bench.Names() {
 		name := name

@@ -1,0 +1,39 @@
+package dedupstream
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"gostats/internal/bench"
+	"gostats/internal/core"
+)
+
+func init() { bench.RegisterCodec("dedupstream", func() bench.StreamCodec { return codec{} }) }
+
+// codec streams dedupstream over NDJSON: one base64 Segment per request
+// line, one SegmentStats per committed output line.
+type codec struct{}
+
+func (codec) DecodeInput(data []byte) (core.Input, error) {
+	var seg Segment
+	if err := json.Unmarshal(data, &seg); err != nil {
+		return nil, fmt.Errorf("dedupstream: bad segment: %w", err)
+	}
+	return seg, nil
+}
+
+func (codec) EncodeInput(in core.Input) ([]byte, error) {
+	seg, ok := in.(Segment)
+	if !ok {
+		return nil, fmt.Errorf("dedupstream: input is %T, want Segment", in)
+	}
+	return json.Marshal(seg)
+}
+
+func (codec) EncodeOutput(out core.Output) ([]byte, error) {
+	ss, ok := out.(SegmentStats)
+	if !ok {
+		return nil, fmt.Errorf("dedupstream: output is %T, want SegmentStats", out)
+	}
+	return json.Marshal(ss)
+}

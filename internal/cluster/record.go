@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"fmt"
+
+	"gostats/internal/rng"
+	"gostats/internal/workload"
+)
+
+// Record expands an ArrivalSpec into the workload trace Simulate would
+// generate internally: same streams, same labels, same per-session draw
+// order (arrival gap except for the last session, mix pick, duration).
+// Simulate(spec with Trace=Record(spec)) therefore makes bit-identical
+// routing decisions to Simulate(spec) — the record/replay round trip the
+// regression tests pin.
+func Record(spec ArrivalSpec) (*workload.Trace, error) {
+	spec, err := spec.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	if spec.Trace != nil {
+		return spec.Trace, nil
+	}
+
+	root := rng.New(spec.Seed)
+	arrivals := root.Derive("cluster-arrivals")
+	durations := root.Derive("cluster-durations")
+	mix := root.Derive("cluster-mix")
+	mods, err := workload.BuildModulators(spec.Modulators, root.Derive("cluster-modulator"))
+	if err != nil {
+		return nil, err
+	}
+
+	t := &workload.Trace{
+		Name:     "cluster-sim",
+		Seed:     spec.Seed,
+		Sessions: make([]workload.Session, spec.Sessions),
+	}
+	now := int64(0)
+	next := int64(0)
+	for seq := 0; seq < spec.Sessions; seq++ {
+		if seq+1 < spec.Sessions {
+			gap := int64(spec.Arrival.Sample(arrivals))
+			if len(mods) > 0 {
+				gap = workload.ScaleGap(gap, workload.Factor(mods, now))
+			}
+			next = now + gap
+		}
+		t.Sessions[seq] = workload.Session{
+			Seq:        seq,
+			At:         now,
+			Benchmark:  spec.Mix.Pick(mix),
+			DurationNS: int64(spec.Duration.Sample(durations)),
+		}
+		now = next
+	}
+	return t, nil
+}
+
+// SpecFromWorkload maps a workload.Spec file onto the cluster
+// simulator's ArrivalSpec: sessions, seed, arrival and duration laws,
+// mix and modulators come from the spec; cluster shape (backends, slots,
+// admission) stays with the caller's flags. The result is normalized —
+// validated through the same single path Simulate uses.
+func SpecFromWorkload(ws *workload.Spec, backends, slots int, rate, burst float64) (ArrivalSpec, error) {
+	if err := ws.Validate(); err != nil {
+		return ArrivalSpec{}, err
+	}
+	arrival, err := ws.Arrival.Build()
+	if err != nil {
+		return ArrivalSpec{}, err
+	}
+	if ws.Duration.Zero() {
+		return ArrivalSpec{}, fmt.Errorf("cluster: workload spec %q has no duration distribution (the simulator needs slot-hold times)", ws.Name)
+	}
+	duration, err := ws.Duration.Build()
+	if err != nil {
+		return ArrivalSpec{}, err
+	}
+	mix, err := workload.NewMix(ws.Mix)
+	if err != nil {
+		return ArrivalSpec{}, err
+	}
+	spec := ArrivalSpec{
+		Sessions:        ws.Sessions,
+		Backends:        backends,
+		SlotsPerBackend: slots,
+		Benchmarks:      mix.Names(),
+		Rate:            rate,
+		Burst:           burst,
+		Seed:            ws.Seed,
+		Arrival:         arrival,
+		Duration:        duration,
+		Mix:             mix,
+		Modulators:      ws.Modulators,
+	}
+	return spec.Normalized()
+}

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"gostats/internal/workload"
+)
+
+// TestGatewayBaselineRegression re-runs the committed seed-42 simulation
+// through the workload-distribution seam and requires every figure —
+// including the decision-sequence hash — to match BENCH_streaming.json's
+// gateway block exactly. This is the refactor's equivalence gate: if the
+// Distribution/Mix indirection ever disturbs a single draw, the hash
+// moves and this test names the policy that diverged.
+func TestGatewayBaselineRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200k-session baseline replay skipped in -short")
+	}
+	raw, err := os.ReadFile("../../BENCH_streaming.json")
+	if err != nil {
+		t.Fatalf("reading baseline: %v", err)
+	}
+	var doc struct {
+		Gateway struct {
+			Seed uint64                  `json:"seed"`
+			Rows map[string]PolicyResult `json:"rows"`
+		} `json:"gateway"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("parsing baseline: %v", err)
+	}
+	if len(doc.Gateway.Rows) == 0 {
+		t.Fatal("baseline has no gateway rows")
+	}
+	// The spec the committed block's note names (statsgate -sim flags).
+	spec := ArrivalSpec{
+		Sessions:         200000,
+		Backends:         8,
+		SlotsPerBackend:  16,
+		MeanInterarrival: time.Millisecond,
+		MeanDuration:     100 * time.Millisecond,
+		Burst:            1,
+		Seed:             doc.Gateway.Seed,
+	}
+	for key, want := range doc.Gateway.Rows {
+		p, err := PolicyFor(want.Policy)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		got, err := Simulate(spec, p)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if got.Decisions != want.Decisions {
+			t.Errorf("%s: decision hash diverged: %016x, baseline %016x — the workload seam disturbed a draw",
+				key, got.Decisions, want.Decisions)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: result diverged from baseline:\n got %+v\nwant %+v", key, got, want)
+		}
+	}
+}
+
+// modulatedSpec exercises every workload seam at once: non-exponential
+// laws, a weighted mix, and both modulator kinds.
+func modulatedSpec() ArrivalSpec {
+	mix, _ := workload.NewMix([]workload.MixEntry{
+		{Benchmark: "facetrack", Weight: 3},
+		{Benchmark: "dedupstream", Weight: 1},
+	})
+	return ArrivalSpec{
+		Sessions:        5000,
+		Backends:        4,
+		SlotsPerBackend: 8,
+		Seed:            7,
+		Arrival:         workload.Gamma{K: 2, MeanV: float64(time.Millisecond)},
+		Duration:        workload.Weibull{K: 1.5, MeanV: float64(40 * time.Millisecond)},
+		Mix:             mix,
+		Modulators: []workload.ModSpec{
+			{Kind: "diurnal", Period: workload.Duration(time.Second), Depth: 0.5},
+			{Kind: "onoff", OnMean: workload.Duration(200 * time.Millisecond),
+				OffMean: workload.Duration(100 * time.Millisecond), OffFactor: 0.25},
+		},
+	}
+}
+
+// TestRecordReplayEquivalence: simulating a spec directly and simulating
+// the trace Record froze from it must make bit-identical decisions, for
+// plain and fully modulated specs alike.
+func TestRecordReplayEquivalence(t *testing.T) {
+	specs := map[string]ArrivalSpec{
+		"exponential": {
+			Sessions: 8000, Backends: 4, SlotsPerBackend: 8,
+			MeanInterarrival: time.Millisecond, MeanDuration: 25 * time.Millisecond, Seed: 11,
+		},
+		"modulated": modulatedSpec(),
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			tr, err := Record(spec)
+			if err != nil {
+				t.Fatalf("Record: %v", err)
+			}
+			if len(tr.Sessions) != spec.Sessions {
+				t.Fatalf("Record produced %d sessions, want %d", len(tr.Sessions), spec.Sessions)
+			}
+			replay := spec
+			replay.Trace = tr
+			for _, pname := range PolicyNames() {
+				p, _ := PolicyFor(pname)
+				direct, err := Simulate(spec, p)
+				if err != nil {
+					t.Fatalf("%s direct: %v", pname, err)
+				}
+				replayed, err := Simulate(replay, p)
+				if err != nil {
+					t.Fatalf("%s replay: %v", pname, err)
+				}
+				if !reflect.DeepEqual(direct, replayed) {
+					t.Errorf("%s: replaying the recorded trace diverged:\n direct %+v\n replay %+v",
+						pname, direct, replayed)
+				}
+			}
+		})
+	}
+}
+
+// TestRecordTraceByteStable: Record is a pure function of the spec — two
+// recordings serialize to identical bytes, and a write→read round trip
+// reproduces the sessions exactly.
+func TestRecordTraceByteStable(t *testing.T) {
+	spec := modulatedSpec()
+	a, err := Record(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Record(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/trace.ndjson"
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw1, _ := os.ReadFile(path)
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw2, _ := os.ReadFile(path)
+	if string(raw1) != string(raw2) {
+		t.Fatal("two recordings of the same spec serialized differently")
+	}
+	rt, err := workload.LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rt.Sessions, a.Sessions) {
+		t.Fatal("trace round trip changed the sessions")
+	}
+}
+
+// TestModulatedSimDeterminism: a modulated, weighted, non-exponential
+// spec still yields identical results run to run — the workload layer
+// introduces no hidden state across Simulate calls.
+func TestModulatedSimDeterminism(t *testing.T) {
+	spec := modulatedSpec()
+	p, err := PolicyFor("leastloaded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Simulate(spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("modulated simulation not deterministic:\n first %+v\nsecond %+v", a, b)
+	}
+	if a.Completed == 0 {
+		t.Fatal("modulated simulation completed no sessions")
+	}
+}
+
+// TestSpecFromWorkload: a spec file maps onto the simulator and runs;
+// a spec without a duration law is rejected with a pointed error.
+func TestSpecFromWorkload(t *testing.T) {
+	ws := &workload.Spec{
+		Name: "t", Seed: 5, Sessions: 2000,
+		Arrival:  workload.DistSpec{Dist: "exponential", Mean: workload.Duration(time.Millisecond)},
+		Duration: workload.DistSpec{Dist: "gamma", Mean: workload.Duration(30 * time.Millisecond), Shape: 2},
+		Mix:      []workload.MixEntry{{Benchmark: "facetrack"}, {Benchmark: "streamcluster"}},
+	}
+	spec, err := SpecFromWorkload(ws, 4, 8, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := PolicyFor("roundrobin")
+	res, err := Simulate(spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions != ws.Sessions || res.Completed == 0 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+
+	ws.Duration = workload.DistSpec{}
+	if _, err := SpecFromWorkload(ws, 4, 8, 0, 1); err == nil {
+		t.Fatal("SpecFromWorkload accepted a spec with no duration law")
+	}
+}

@@ -6,14 +6,16 @@ import (
 	"time"
 
 	"gostats/internal/rng"
+	"gostats/internal/workload"
 )
 
 // ArrivalSpec describes a synthetic session workload for the cluster
 // simulator: when sessions arrive, what they run, how long they hold a
 // backend slot, and the cluster they hit. Interarrival and service times
-// are exponentially distributed around their means, drawn from seeded
-// internal/rng streams, so a (spec, seed) pair names exactly one
-// workload trace — the same trace every policy under comparison replays.
+// come from pluggable workload.Distributions (exponential around the
+// configured means by default), drawn from seeded internal/rng streams,
+// so a (spec, seed) pair names exactly one workload trace — the same
+// trace every policy under comparison replays.
 type ArrivalSpec struct {
 	// Sessions is the number of session arrivals to generate.
 	Sessions int
@@ -23,17 +25,39 @@ type ArrivalSpec struct {
 	// sheds the session back to the gateway, which re-routes it.
 	SlotsPerBackend int
 	// MeanInterarrival and MeanDuration are the exponential means of
-	// session spacing and session service time (virtual time).
+	// session spacing and session service time (virtual time), used when
+	// Arrival/Duration are nil.
 	MeanInterarrival time.Duration
 	MeanDuration     time.Duration
-	// Benchmarks is the workload mix, drawn uniformly per session.
-	// Empty means a representative three-codec mix.
+	// Benchmarks is the workload mix, drawn uniformly per session when
+	// Mix is nil. Empty means a representative three-codec mix.
 	Benchmarks []string
 	// Rate and Burst parameterize the gateway token bucket in tokens
 	// per (virtual) second; Rate <= 0 disables admission control.
 	Rate, Burst float64
 	// Seed selects one workload trace.
 	Seed uint64
+
+	// Arrival and Duration override the interarrival and service-time
+	// laws. Nil defaults to workload.Exp over the means above — which
+	// reproduces the pre-workload-layer simulator draw for draw, bit for
+	// bit (the refactor's equivalence gate).
+	Arrival  workload.Distribution
+	Duration workload.Distribution
+	// Mix overrides the per-session benchmark choice; nil is a uniform
+	// mix over Benchmarks.
+	Mix *workload.Mix
+	// Modulators shape the arrival rate over virtual time (bursty
+	// on/off, diurnal). Specs, not built Modulators: each Simulate call
+	// builds fresh instances so one policy's run cannot leak modulator
+	// phase state into the next — that would break Compare's
+	// same-trace-per-policy guarantee.
+	Modulators []workload.ModSpec
+	// Trace replays a recorded session trace instead of generating one:
+	// arrival times, benchmarks and durations come from the trace and
+	// the generator streams go untouched. Sessions is overridden by the
+	// trace's length.
+	Trace *workload.Trace
 }
 
 func (s ArrivalSpec) withDefaults() ArrivalSpec {
@@ -52,10 +76,24 @@ func (s ArrivalSpec) withDefaults() ArrivalSpec {
 	if len(s.Benchmarks) == 0 {
 		s.Benchmarks = []string{"facetrack", "streamcluster", "streamclassifier"}
 	}
+	if s.Arrival == nil {
+		s.Arrival = workload.Exp(float64(s.MeanInterarrival))
+	}
+	if s.Duration == nil {
+		s.Duration = workload.Exp(float64(s.MeanDuration))
+	}
+	if s.Mix == nil {
+		s.Mix = workload.UniformMix(s.Benchmarks)
+	}
+	if s.Trace != nil {
+		s.Sessions = len(s.Trace.Sessions)
+	}
 	return s
 }
 
-// Validate reports spec errors.
+// Validate reports spec errors. It is distribution-aware and runs on the
+// defaulted spec — the single validation point shared by Simulate,
+// Record, and statsgate's flag/spec parsing (via Normalized).
 func (s ArrivalSpec) Validate() error {
 	if s.Sessions <= 0 {
 		return fmt.Errorf("cluster: Sessions must be positive, got %d", s.Sessions)
@@ -63,7 +101,33 @@ func (s ArrivalSpec) Validate() error {
 	if s.Backends < 0 || s.SlotsPerBackend < 0 {
 		return fmt.Errorf("cluster: negative Backends/SlotsPerBackend")
 	}
+	if s.Arrival != nil {
+		if err := s.Arrival.Validate(); err != nil {
+			return fmt.Errorf("cluster: arrival: %w", err)
+		}
+	}
+	if s.Duration != nil {
+		if err := s.Duration.Validate(); err != nil {
+			return fmt.Errorf("cluster: duration: %w", err)
+		}
+	}
+	for i, m := range s.Modulators {
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("cluster: modulator %d: %w", i, err)
+		}
+	}
 	return nil
+}
+
+// Normalized returns the spec with defaults applied, validated. Callers
+// that need to fail fast on bad flags or spec files (statsgate) use this
+// instead of duplicating the checks.
+func (s ArrivalSpec) Normalized() (ArrivalSpec, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return ArrivalSpec{}, err
+	}
+	return s, nil
 }
 
 // PolicyResult summarizes one policy's run over a workload trace.
@@ -126,8 +190,8 @@ func (h *simHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = 
 // slots freed at exponential departure times. Same spec, same policy ⇒
 // identical PolicyResult, bit for bit.
 func Simulate(spec ArrivalSpec, policy RoutingPolicy) (PolicyResult, error) {
-	spec = spec.withDefaults()
-	if err := spec.Validate(); err != nil {
+	spec, err := spec.Normalized()
+	if err != nil {
 		return PolicyResult{}, err
 	}
 
@@ -142,6 +206,13 @@ func Simulate(spec ArrivalSpec, policy RoutingPolicy) (PolicyResult, error) {
 	arrivals := root.Derive("cluster-arrivals")
 	durations := root.Derive("cluster-durations")
 	mix := root.Derive("cluster-mix")
+	// Modulators are built per Simulate call from their specs: they carry
+	// evolving phase state, and every policy in a Compare must replay the
+	// identical arrival trace.
+	mods, err := workload.BuildModulators(spec.Modulators, root.Derive("cluster-modulator"))
+	if err != nil {
+		return PolicyResult{}, err
+	}
 
 	res := PolicyResult{Policy: policy.Name(), Sessions: spec.Sessions,
 		PerBackend: make([]int, spec.Backends)}
@@ -167,10 +238,6 @@ func Simulate(spec ArrivalSpec, policy RoutingPolicy) (PolicyResult, error) {
 		heap.Push(&events, &simEvent{time: at, seq: eventSeq, fn: fn})
 		eventSeq++
 	}
-	expo := func(r *rng.Stream, mean time.Duration) int64 {
-		return int64(r.ExpFloat64() * float64(mean))
-	}
-
 	depart := func(id string) func(int64) {
 		return func(int64) {
 			reg.EndSession(id)
@@ -180,14 +247,36 @@ func Simulate(spec ArrivalSpec, policy RoutingPolicy) (PolicyResult, error) {
 	}
 
 	var arrive func(seq uint64)
-	arrive = func(seq uint64) {
-		// Schedule the next arrival first so the trace (arrival times,
-		// benchmarks, durations) is independent of routing outcomes.
+	// nextSession yields session seq's benchmark and duration and
+	// schedules the following arrival — drawn through the distribution
+	// seam, or replayed verbatim from a recorded trace. The generator
+	// schedules the next arrival before drawing this session's fields so
+	// the trace (arrival times, benchmarks, durations) is independent of
+	// routing outcomes; per-stream draw order is one arrival gap (except
+	// for the last session), one mix pick, one duration per session —
+	// the order the simulator has always used, which is what keeps the
+	// seed-42 gateway baseline bit-identical across the refactor.
+	nextSession := func(seq uint64) (string, int64) {
 		if seq+1 < uint64(spec.Sessions) {
-			schedule(now+expo(arrivals, spec.MeanInterarrival), func(int64) { arrive(seq + 1) })
+			gap := int64(spec.Arrival.Sample(arrivals))
+			if len(mods) > 0 {
+				gap = workload.ScaleGap(gap, workload.Factor(mods, now))
+			}
+			schedule(now+gap, func(int64) { arrive(seq + 1) })
 		}
-		benchmark := spec.Benchmarks[mix.Intn(len(spec.Benchmarks))]
-		dur := expo(durations, spec.MeanDuration)
+		return spec.Mix.Pick(mix), int64(spec.Duration.Sample(durations))
+	}
+	if spec.Trace != nil {
+		tr := spec.Trace.Sessions
+		nextSession = func(seq uint64) (string, int64) {
+			if seq+1 < uint64(spec.Sessions) {
+				schedule(tr[seq+1].At, func(int64) { arrive(seq + 1) })
+			}
+			return tr[seq].Benchmark, tr[seq].DurationNS
+		}
+	}
+	arrive = func(seq uint64) {
+		benchmark, dur := nextSession(seq)
 
 		if ok, _ := bucket.Admit(time.Duration(now)); !ok {
 			res.ShedAdmission++
@@ -223,7 +312,11 @@ func Simulate(spec ArrivalSpec, policy RoutingPolicy) (PolicyResult, error) {
 		}
 	}
 
-	schedule(0, func(int64) { arrive(0) })
+	first := int64(0)
+	if spec.Trace != nil && len(spec.Trace.Sessions) > 0 {
+		first = spec.Trace.Sessions[0].At
+	}
+	schedule(first, func(int64) { arrive(0) })
 	heap.Init(&events)
 	for events.Len() > 0 {
 		e := heap.Pop(&events).(*simEvent)

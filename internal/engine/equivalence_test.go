@@ -38,8 +38,8 @@ func (p *probe) Event(e engine.Event) {
 // explicitly rather than waved through.
 func TestCrossExecutorEquivalence(t *testing.T) {
 	names := bench.Names()
-	if len(names) != 7 {
-		t.Fatalf("expected 7 registered benchmarks, have %d: %v", len(names), names)
+	if len(names) != 8 {
+		t.Fatalf("expected 8 registered benchmarks, have %d: %v", len(names), names)
 	}
 	const (
 		nInputs = 72

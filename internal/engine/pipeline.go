@@ -167,6 +167,12 @@ type StreamStats struct {
 	Faults   int64 // chunk faults isolated (panics, missed deadlines)
 	Retries  int64 // faulted attempts retried after backoff
 	Degraded int64 // chunks degraded to sequential frontier re-execution
+
+	// Trajectory is the online controller's chunk-size history (initial
+	// size plus one point per resize), present only on adaptive sessions
+	// after the pipeline drained. It flows into the serving trailer, so
+	// load generators can record how autotune responded to the workload.
+	Trajectory []autotune.SizeChange `json:"Trajectory,omitempty"`
 }
 
 // ErrClosed is returned by Push after Close.
@@ -438,12 +444,18 @@ func (p *Pipeline) Outputs() <-chan Output { return p.out }
 // it was abandoned rather than drained.
 func (p *Pipeline) Wait() (StreamStats, error) {
 	p.all.Wait()
+	st := p.StatsSnapshot()
+	if p.ctl != nil {
+		// The stages have drained (all.Wait above), so the assembler-owned
+		// controller is quiescent and safe to read from here.
+		st.Trajectory = p.ctl.History()
+	}
 	if err := p.failErr(); err != nil {
-		return p.StatsSnapshot(), err
+		return st, err
 	}
 	// The janitor cancels the derived context even on clean drains; only
 	// the caller's context says whether the run was abandoned.
-	return p.StatsSnapshot(), p.outer.Err()
+	return st, p.outer.Err()
 }
 
 // StatsSnapshot returns the pipeline's counters at this instant; it may

@@ -116,13 +116,13 @@ func chaosPlan(nChunks int, aborted []int) (*faultinject.Plan, bool, bool) {
 // TestChaosEquivalence is the robustness contract: with seeded faults
 // injected — panics at every protocol site, a stall tripping the chunk
 // deadline, corrupted speculative states, exhausted retry budgets — all
-// seven benchmarks on all three schedulers commit outputs byte-identical
+// eight benchmarks on all three schedulers commit outputs byte-identical
 // to the fault-free run, with identical commit/abort decisions, and the
 // process never crashes.
 func TestChaosEquivalence(t *testing.T) {
 	names := bench.Names()
-	if len(names) != 7 {
-		t.Fatalf("expected 7 registered benchmarks, have %d: %v", len(names), names)
+	if len(names) != 8 {
+		t.Fatalf("expected 8 registered benchmarks, have %d: %v", len(names), names)
 	}
 	cfg := chaosConfig()
 	sawCorrupt, sawDegrade := false, false

@@ -120,6 +120,7 @@ func DefaultConfig() *Config {
 		"gostats/internal/machine",
 		"gostats/internal/memsim",
 		"gostats/internal/cluster",
+		"gostats/internal/workload",
 	}}
 }
 

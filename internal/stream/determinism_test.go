@@ -65,7 +65,7 @@ func encodeRun(t *testing.T, name string, cfg stream.Config, inputs []core.Input
 // must not notice. (-race runs of this test double as the proof that the
 // determinism is not an artifact of accidental synchronization.)
 func TestStreamingDeterminism(t *testing.T) {
-	for _, name := range []string{"facetrack", "streamcluster", "streamclassifier"} {
+	for _, name := range []string{"facetrack", "streamcluster", "streamclassifier", "dedupstream"} {
 		t.Run(name, func(t *testing.T) {
 			b, err := bench.New(name)
 			if err != nil {

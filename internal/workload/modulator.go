@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"gostats/internal/rng"
+)
+
+// Modulator shapes an arrival process over virtual time: Factor(now)
+// multiplies the instantaneous arrival *rate* (so an interarrival gap is
+// divided by it). Factors compose multiplicatively across modulators.
+//
+// Modulators may carry evolving state (the on/off Markov chain advances a
+// phase schedule), so each Simulate or Generate run must build its own
+// instances from ModSpecs — sharing a built Modulator across runs would
+// leak one run's phase history into the next. The contract is monotonic
+// time: Factor must be called with non-decreasing now values.
+type Modulator interface {
+	Factor(now int64) float64
+}
+
+// Diurnal is a sinusoidal rate profile: 1 + Depth*sin(2π·now/Period),
+// the classic day/night load curve compressed to the simulation's
+// timescale. Depth in [0,1); the factor stays positive.
+type Diurnal struct {
+	PeriodNS float64
+	Depth    float64
+	// PhaseFrac rotates the curve's starting point by a fraction of the
+	// period, so mixes can stagger several diurnal components.
+	PhaseFrac float64
+}
+
+// Factor implements Modulator.
+func (d *Diurnal) Factor(now int64) float64 {
+	return 1 + d.Depth*math.Sin(2*math.Pi*(float64(now)/d.PeriodNS+d.PhaseFrac))
+}
+
+// OnOff is a two-state Markov-modulated rate: bursts of factor OnFactor
+// lasting Exp(OnMeanNS), separated by lulls of factor OffFactor lasting
+// Exp(OffMeanNS). Phase changes are drawn lazily from the modulator's own
+// stream as virtual time advances past them, so the phase schedule is a
+// pure function of (seed, phase index) and independent of how often
+// Factor is polled.
+type OnOff struct {
+	OnMeanNS  float64
+	OffMeanNS float64
+	OnFactor  float64
+	OffFactor float64
+
+	r    *rng.Stream
+	on   bool
+	next int64 // virtual time of the next phase flip
+	init bool
+}
+
+// Factor implements Modulator.
+func (m *OnOff) Factor(now int64) float64 {
+	if !m.init {
+		m.init = true
+		m.on = true
+		m.next = now + int64(m.r.ExpFloat64()*m.OnMeanNS)
+	}
+	for now >= m.next {
+		m.on = !m.on
+		mean := m.OnMeanNS
+		if !m.on {
+			mean = m.OffMeanNS
+		}
+		gap := int64(m.r.ExpFloat64() * mean)
+		if gap < 1 {
+			gap = 1 // a zero-length phase would stall the schedule
+		}
+		m.next += gap
+	}
+	if m.on {
+		return m.OnFactor
+	}
+	return m.OffFactor
+}
+
+// ModSpec is the serializable description of one modulator. Kind selects
+// the shape; unused fields are ignored. Specs are inert — Build turns one
+// into a live Modulator bound to a derived stream.
+type ModSpec struct {
+	Kind string `json:"kind"` // "diurnal" or "onoff"
+	// Diurnal.
+	Period Duration `json:"period,omitempty"`
+	Depth  float64  `json:"depth,omitempty"`
+	Phase  float64  `json:"phase,omitempty"`
+	// OnOff. Factors default to 1 (on) and 0.1 (off).
+	OnMean    Duration `json:"on_mean,omitempty"`
+	OffMean   Duration `json:"off_mean,omitempty"`
+	OnFactor  float64  `json:"on_factor,omitempty"`
+	OffFactor float64  `json:"off_factor,omitempty"`
+}
+
+// Validate reports spec errors.
+func (m ModSpec) Validate() error {
+	switch m.Kind {
+	case "diurnal":
+		if !(float64(m.Period) > 0) {
+			return fmt.Errorf("workload: diurnal modulator needs a positive period, got %v", m.Period)
+		}
+		if m.Depth < 0 || m.Depth >= 1 {
+			return fmt.Errorf("workload: diurnal depth must be in [0,1), got %v", m.Depth)
+		}
+	case "onoff":
+		if !(float64(m.OnMean) > 0) || !(float64(m.OffMean) > 0) {
+			return fmt.Errorf("workload: onoff modulator needs positive on_mean and off_mean")
+		}
+		if m.OnFactor < 0 || m.OffFactor < 0 {
+			return fmt.Errorf("workload: onoff factors must be >= 0")
+		}
+	default:
+		return fmt.Errorf("workload: unknown modulator kind %q (want diurnal or onoff)", m.Kind)
+	}
+	return nil
+}
+
+// Build turns the spec into a live modulator. r seeds stateful kinds and
+// may be nil for stateless ones.
+func (m ModSpec) Build(r *rng.Stream) (Modulator, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	switch m.Kind {
+	case "diurnal":
+		return &Diurnal{PeriodNS: float64(m.Period), Depth: m.Depth, PhaseFrac: m.Phase}, nil
+	default: // "onoff", by Validate
+		on, off := m.OnFactor, m.OffFactor
+		if on == 0 {
+			on = 1
+		}
+		if off == 0 {
+			off = 0.1
+		}
+		return &OnOff{
+			OnMeanNS:  float64(m.OnMean),
+			OffMeanNS: float64(m.OffMean),
+			OnFactor:  on,
+			OffFactor: off,
+			r:         r,
+		}, nil
+	}
+}
+
+// BuildModulators builds every spec, deriving one child stream per
+// modulator from r so adding a modulator never disturbs the draws of the
+// ones before it.
+func BuildModulators(specs []ModSpec, r *rng.Stream) ([]Modulator, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	out := make([]Modulator, len(specs))
+	for i, s := range specs {
+		m, err := s.Build(r.DeriveN("modulator", i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// Factor multiplies every modulator's factor at now, floored at 1e-3 so
+// a deep lull slows arrivals 1000x instead of stopping virtual time.
+func Factor(mods []Modulator, now int64) float64 {
+	f := 1.0
+	for _, m := range mods {
+		f *= m.Factor(now)
+	}
+	if f < 1e-3 {
+		f = 1e-3
+	}
+	return f
+}
+
+// ScaleGap divides an interarrival gap by the rate factor, preserving
+// gap >= 0 and guarding the int64 conversion.
+func ScaleGap(gap int64, factor float64) int64 {
+	if factor == 1 {
+		return gap
+	}
+	scaled := float64(gap) / factor
+	if scaled > math.MaxInt64/2 {
+		return math.MaxInt64 / 2
+	}
+	return int64(scaled)
+}

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"gostats/internal/bench"
+	_ "gostats/internal/bench/all"
+)
+
+func TestSessionInputsTruncation(t *testing.T) {
+	b, err := bench.New("facetrack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := SessionInputs(b, 0, 5)
+	if len(full) == 0 {
+		t.Fatal("native stream is empty")
+	}
+	if got := SessionInputs(b, 7, 5); len(got) != 7 {
+		t.Fatalf("n=7 returned %d inputs", len(got))
+	}
+	if got := SessionInputs(b, len(full)+100, 5); len(got) != len(full) {
+		t.Fatalf("n beyond native length returned %d inputs, want %d", len(got), len(full))
+	}
+}
+
+// TestWriteSessionNDJSONDeterministic: a trace line's (benchmark, inputs,
+// seed) triple names the session body byte for byte.
+func TestWriteSessionNDJSONDeterministic(t *testing.T) {
+	s := Session{Benchmark: "streamclassifier", Inputs: 12, Seed: 99}
+	var a, b bytes.Buffer
+	if err := WriteSessionNDJSON(&a, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSessionNDJSON(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same session produced different bodies")
+	}
+	if lines := bytes.Count(a.Bytes(), []byte("\n")); lines != 12 {
+		t.Fatalf("body has %d lines, want 12", lines)
+	}
+	s2 := s
+	s2.Seed = 100
+	var c bytes.Buffer
+	if err := WriteSessionNDJSON(&c, s2); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds produced identical bodies")
+	}
+	if err := WriteSessionNDJSON(&c, Session{Benchmark: "no-such-benchmark"}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,21 @@
+// Package workload is the repo's single load-generation layer: pluggable
+// arrival/duration distributions, rate modulators for nonstationary
+// shaping, multi-client session specs with per-connection benchmark
+// mixes, and an NDJSON trace format for deterministic record/replay.
+//
+// Three previously disjoint paths converge here: the cluster simulator's
+// exponential draws (internal/cluster), statsserved's -gen input
+// generator, and statsbench's fixed per-benchmark inputs. All of them now
+// draw from workload.Distribution values over seeded internal/rng
+// streams, so a (spec, seed) pair names exactly one workload — the same
+// sessions, the same arrival times, the same inputs, run after run — and
+// any generated workload can be captured once (Trace) and replayed
+// byte-identically in tests and CI.
+//
+// Determinism contract: nothing in this package reads a clock or any
+// other ambient source. Every random draw comes from an *rng.Stream the
+// caller seeds, every "time" is virtual nanoseconds since the workload's
+// epoch, and modulators are pure functions of that virtual time plus
+// their own derived streams. The package is statslint-critical
+// (CriticalPrefixes), so a wall-clock or math/rand use here fails CI.
+package workload
