@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -14,8 +15,26 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gostats/internal/checkpoint"
 	"gostats/internal/cluster"
 )
+
+// Control lines of the checkpointed-session protocol (mirrors
+// internal/serve). With -migrate the gateway asks every backend for them
+// and consumes them in the relay — recording #ckpt snapshots, trimming
+// replay memory to the checkpoint frontier, resuming on #migrate — so
+// the client sees one plain, uninterrupted NDJSON session.
+const (
+	ckptPrefix   = "#ckpt "
+	resumePrefix = "#resume "
+	migrateLine  = "#migrate"
+)
+
+// maxCrashResumes bounds checkpoint resumes after *unplanned* backend
+// loss (planned drain migrations are unbounded — each needs a real drain
+// event). A session whose backends keep dying mid-chunk is better
+// truncated than ping-ponged forever.
+const maxCrashResumes = 3
 
 // gateway is the statsgate front door: it admits sessions through a
 // token bucket, picks a backend with the configured routing policy,
@@ -33,6 +52,14 @@ type gateway struct {
 	seq      atomic.Uint64 // admission sequence numbers for SessionKey
 	draining atomic.Bool
 	panics   atomic.Int64
+
+	// migrate switches sessions to the checkpointed protocol: backends
+	// are asked for #ckpt lines every ckptEvery commits, and a session a
+	// backend halts (#migrate, typically on drain) — or loses outright —
+	// is resumed from its latest checkpoint on the next backend the
+	// policy picks, invisibly to the client.
+	migrate   bool
+	ckptEvery int
 }
 
 func newGateway(reg *cluster.Registry, policy cluster.RoutingPolicy, bucket *cluster.TokenBucket) *gateway {
@@ -221,6 +248,12 @@ func (g *gateway) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
+	if g.migrate {
+		rr.trackLines()
+		g.streamMigratable(w, r, rc, rr, key)
+		return
+	}
+
 	hints := []int{}
 	candidates := g.reg.Ready()
 	for len(candidates) > 0 {
@@ -319,6 +352,224 @@ func (g *gateway) tryBackend(w http.ResponseWriter, r *http.Request, rc *http.Re
 	}
 }
 
+// migSession tracks one checkpointed session across backend attempts.
+type migSession struct {
+	started  bool   // response status + headers committed to the client
+	relayed  int64  // lines relayed to the client so far
+	snap     string // latest checkpoint (base64), "" before the first
+	frontier int64  // inputs the latest checkpoint covers
+	crashes  int    // unplanned backend losses resumed so far
+}
+
+// Outcomes of one migratable proxy attempt.
+const (
+	attemptDone    = iota // session answered; the handler must return
+	attemptShed    = iota // backend refused before output; re-routable
+	attemptMigrate = iota // backend halted (or died) with a checkpoint to resume
+)
+
+// streamMigratable runs one checkpointed session across as many backends
+// as it takes: ordinary re-routes for sheds before any output, and
+// checkpoint resume after a drain halt (#migrate) or a lost backend. The
+// client sees a single uninterrupted NDJSON stream whose committed lines
+// are byte-identical to an unmigrated run.
+func (g *gateway) streamMigratable(w http.ResponseWriter, r *http.Request,
+	rc *http.ResponseController, rr *replayReader, key cluster.SessionKey) {
+	st := &migSession{}
+	hints := []int{}
+	for {
+		migrated := false
+		candidates := g.reg.Ready()
+		for len(candidates) > 0 {
+			i := g.policy.Pick(candidates, key)
+			b := candidates[i]
+			outcome, hint := g.tryMigratable(w, r, rc, b, rr, key.Benchmark, st)
+			if outcome == attemptDone {
+				return
+			}
+			if outcome == attemptMigrate {
+				g.met.Migrations.Add(1)
+				migrated = true
+				break // re-snapshot Ready: the halted backend is on its way out
+			}
+			if hint > 0 {
+				hints = append(hints, hint)
+			}
+			g.met.Reroutes.Add(1)
+			candidates = append(candidates[:i:i], candidates[i+1:]...)
+		}
+		if !migrated {
+			break
+		}
+	}
+
+	if st.started {
+		// Mid-stream with no backend able to take the resume: end without
+		// a trailer — the canonical truncated-session signal.
+		log.Printf("statsgate: session %s/%d stranded mid-migration: no backend can resume it",
+			key.Benchmark, key.Seq)
+		return
+	}
+	g.met.ShedCapacity.Add(1)
+	retry := 1
+	for _, h := range hints {
+		if retry == 1 || h < retry {
+			retry = h
+		}
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	http.Error(w, "no backend can take the session", http.StatusTooManyRequests)
+}
+
+// sessionURL builds a backend session URL carrying the client's query
+// plus the gateway-managed checkpoint parameters.
+func (g *gateway) sessionURL(b cluster.Backend, r *http.Request, benchmark string, resume bool) string {
+	q := r.URL.Query()
+	q.Set("migrate", "1")
+	if g.ckptEvery > 0 {
+		q.Set("ckpt", strconv.Itoa(g.ckptEvery))
+	}
+	if resume {
+		q.Set("resume", "1")
+	} else {
+		q.Del("resume")
+	}
+	return b.Addr + "/v1/stream/" + benchmark + "?" + q.Encode()
+}
+
+// tryMigratable proxies one attempt of a checkpointed session to backend
+// b, relaying line-aware: output lines go to the client whole, #ckpt
+// lines are recorded (and trim the replay window to the checkpoint
+// frontier — retained request memory is bounded by checkpoint lag, not
+// session length), and #migrate plus the halt trailer are consumed. On a
+// resume attempt the body is the latest snapshot's #resume line followed
+// by the retained inputs from its frontier, and outputs the new backend
+// recomputes below what the client already has are skipped.
+func (g *gateway) tryMigratable(w http.ResponseWriter, r *http.Request, rc *http.ResponseController,
+	b cluster.Backend, rr *replayReader, benchmark string, st *migSession) (outcome, hint int) {
+	resume := st.snap != ""
+	var view *replayView
+	var body io.Reader
+	if resume {
+		view = rr.viewAtLine(st.frontier)
+		body = io.MultiReader(strings.NewReader(resumePrefix+st.snap+"\n"), view)
+	} else {
+		view = rr.view()
+		body = view
+	}
+	defer view.Close()
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		g.sessionURL(b, r, benchmark, resume), body)
+	if err != nil {
+		g.met.BackendErrors.Add(1)
+		return attemptShed, 0
+	}
+	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	req.ContentLength = -1
+
+	g.reg.StartSession(b.ID)
+	defer g.reg.EndSession(b.ID)
+	resp, err := g.client.Do(req)
+	if err != nil {
+		g.met.BackendErrors.Add(1)
+		return attemptShed, 0
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		g.reg.MarkShed(b.ID)
+		if s, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); err == nil {
+			hint = s
+		}
+		return attemptShed, hint
+	}
+	g.met.Routed.Add(1)
+	g.reg.MarkRouted(b.ID)
+	if resp.StatusCode != http.StatusOK {
+		// The session's answer, but not a stream: relay it verbatim (or
+		// swallow it if the stream already started — headers are out).
+		if !st.started {
+			if ct := resp.Header.Get("Content-Type"); ct != "" {
+				w.Header().Set("Content-Type", ct)
+			}
+			w.WriteHeader(resp.StatusCode)
+			_, _ = io.Copy(w, resp.Body)
+		}
+		return attemptDone, 0
+	}
+	if !st.started {
+		_ = rc.EnableFullDuplex()
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		w.WriteHeader(resp.StatusCode)
+		st.started = true
+	}
+
+	skip := int64(0)
+	if resume {
+		// Outputs below what the client already received are recomputed by
+		// the resumed backend (frontier ≤ relayed); drop them.
+		skip = st.relayed - st.frontier
+	}
+	br := bufio.NewReaderSize(resp.Body, 64<<10)
+	migrating := false
+	for {
+		line, rerr := br.ReadString('\n')
+		if rerr == nil {
+			trimmed := line[:len(line)-1]
+			switch {
+			case strings.HasPrefix(trimmed, ckptPrefix):
+				b64 := trimmed[len(ckptPrefix):]
+				if snap, err := checkpoint.DecodeString(b64); err == nil {
+					st.snap, st.frontier = b64, snap.Inputs
+					rr.trimToLine(snap.Inputs)
+				}
+				continue
+			case trimmed == migrateLine:
+				migrating = true
+				continue
+			case migrating:
+				// The halt trailer — the last line the backend writes, and
+				// the client gets the final backend's instead. Hand off now
+				// rather than waiting for EOF: the backend holds its side
+				// open until we close the request body, and closing it (the
+				// deferred Body.Close) is what releases the backend.
+				return attemptMigrate, 0
+			case skip > 0:
+				skip--
+				continue
+			}
+			if _, werr := io.WriteString(w, line); werr != nil {
+				return attemptDone, 0
+			}
+			_ = rc.Flush()
+			st.relayed++
+			continue
+		}
+		// Stream over. A clean EOF after #migrate is the handoff; a clean
+		// EOF otherwise means the trailer went out whole and the session is
+		// complete. Anything else — a transport error, or a torn final line
+		// (never relayed: client lines stay whole) — is a lost backend,
+		// resumable iff a checkpoint is in hand.
+		if rerr == io.EOF && len(line) == 0 {
+			if migrating {
+				return attemptMigrate, 0
+			}
+			return attemptDone, 0
+		}
+		g.met.BackendErrors.Add(1)
+		switch {
+		case st.snap != "" && st.crashes < maxCrashResumes:
+			st.crashes++
+			return attemptMigrate, 0
+		case st.relayed == 0 && st.snap == "":
+			return attemptShed, 0 // nothing reached the client; replay in full
+		}
+		return attemptDone, 0 // truncated mid-stream with nothing to resume from
+	}
+}
+
 // retryAfterSeconds renders a wait as a whole-second Retry-After value,
 // rounding up so a client never retries early.
 func retryAfterSeconds(wait time.Duration) string {
@@ -361,6 +612,20 @@ type replayReader struct {
 	winner   *replayView // sole view allowed to read post-release
 	dead     bool        // killAll: every view refuses further reads
 	tmp      []byte
+
+	// Input-line bookkeeping for checkpointed sessions (trackLines): nl
+	// holds the absolute offset just past each retained non-blank line's
+	// newline — non-blank because that is what the backend's pusher
+	// counts as an input — and nlBase is how many such lines trimming
+	// already discarded. Together they map the checkpoint frontier (an
+	// input count) onto byte offsets, so trimToLine can bound retained
+	// memory by checkpoint lag and viewAtLine can start a resume body
+	// exactly at an input-line boundary. Checkpointed sessions never
+	// release(), so every byte flows through buf and is seen here.
+	track   bool
+	nl      []int64
+	nlBase  int64
+	midLine bool // the current unterminated line has non-blank content
 }
 
 func newReplayReader(src io.Reader) *replayReader {
@@ -371,6 +636,67 @@ func newReplayReader(src io.Reader) *replayReader {
 
 // view returns the full logical stream for one proxy attempt.
 func (rr *replayReader) view() *replayView { return &replayView{rr: rr} }
+
+// trackLines enables input-line bookkeeping; call before the first read.
+func (rr *replayReader) trackLines() {
+	rr.mu.Lock()
+	rr.track = true
+	rr.mu.Unlock()
+}
+
+// recordLines folds a freshly-buffered chunk (whose first byte sits at
+// absolute offset base) into the line index. Caller holds mu.
+func (rr *replayReader) recordLines(b []byte, base int64) {
+	for i, c := range b {
+		switch c {
+		case '\n':
+			if rr.midLine {
+				rr.nl = append(rr.nl, base+int64(i)+1)
+				rr.midLine = false
+			}
+		case ' ', '\t', '\r':
+			// whitespace keeps a line blank
+		default:
+			rr.midLine = true
+		}
+	}
+}
+
+// trimToLine discards retained bytes before the start of input line n
+// (0-based): a checkpoint covering n inputs supersedes them, so the
+// replay window shrinks to the checkpoint lag instead of growing with
+// the session. Safe concurrently with an active view: a backend only
+// checkpoints inputs it has already read, so the live view's offset is
+// always at or past the cut.
+func (rr *replayReader) trimToLine(n int64) {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	if !rr.track || n <= rr.nlBase {
+		return
+	}
+	idx := n - 1 - rr.nlBase
+	if idx >= int64(len(rr.nl)) {
+		return // frontier past what has been read; nothing safe to cut
+	}
+	cut := rr.nl[idx]
+	rr.buf = append([]byte(nil), rr.buf[cut-rr.start:]...)
+	rr.nl = append([]int64(nil), rr.nl[idx+1:]...)
+	rr.start = cut
+	rr.nlBase = n
+}
+
+// viewAtLine returns a view whose reads start at input line n — the
+// inputs a resumed session still needs. n is the latest checkpoint
+// frontier, which trimToLine has made the retained-buffer origin.
+func (rr *replayReader) viewAtLine(n int64) *replayView {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	off := rr.start
+	if d := n - rr.nlBase; d > 0 && d <= int64(len(rr.nl)) {
+		off = rr.nl[d-1]
+	}
+	return &replayView{rr: rr, off: off}
+}
 
 // release pins the winning view and stops retaining replayed bytes:
 // re-routing is over. Never blocks on client I/O.
@@ -473,7 +799,11 @@ func (v *replayView) Read(p []byte) (int, error) {
 		rr.mu.Lock()
 		rr.reading = false
 		if n > 0 {
+			base := rr.start + int64(len(rr.buf))
 			rr.buf = append(rr.buf, rr.tmp[:n]...)
+			if rr.track {
+				rr.recordLines(rr.tmp[:n], base)
+			}
 		}
 		if err != nil {
 			rr.err = err

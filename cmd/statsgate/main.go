@@ -7,10 +7,13 @@
 //	          [-policy roundrobin|leastloaded|affinity]
 //	          [-rate 0] [-burst 1] [-probe-interval 500ms]
 //	          [-probe-fails 2] [-grace 15s]
+//	          [-migrate] [-ckpt-every 32]
 //	statsgate -sim [-sim-policies roundrobin,leastloaded,affinity]
 //	          [-sim-sessions 1000000] [-sim-backends 8] [-sim-slots 64]
 //	          [-sim-arrival 2ms] [-sim-duration 250ms]
 //	          [-sim-rate 0] [-sim-burst 1] [-sim-seed 1] [-json]
+//	          [-sim-migrate-rate 0] [-sim-ckpt-cost 2ms]
+//	          [-sim-resume-cost 5ms]
 //	          [-workload spec.json] [-sim-record trace.ndjson]
 //	          [-sim-replay trace.ndjson]
 //
@@ -25,7 +28,14 @@
 // Backend health comes from /readyz probes every -probe-interval
 // (draining backends stop receiving new sessions; -probe-fails
 // consecutive failures mark a backend down) and load signals from each
-// backend's /metrics gauges. GET /metrics aggregates every backend's
+// backend's /metrics gauges. With -migrate, sessions run under the
+// checkpointed protocol: backends interleave #ckpt snapshot lines every
+// -ckpt-every commits, the gateway consumes them (trimming its replay
+// buffer to the checkpoint frontier), and a session whose backend drains
+// mid-stream — halting at its commit frontier with a #migrate marker —
+// or dies outright is resumed from the latest checkpoint on the next
+// backend the policy picks. The client sees one uninterrupted stream,
+// byte-identical to an unmigrated run. GET /metrics aggregates every backend's
 // counters into cluster-wide sums, GET /v1/backends shows the routing
 // table, and SIGTERM drains like statsserved.
 //
@@ -40,6 +50,11 @@
 // verbatim from a recorded trace (-sim-replay). -sim-record writes the
 // trace the run would generate as NDJSON without simulating, so a
 // synthetic spec can be frozen, inspected, and replayed elsewhere.
+// -sim-migrate-rate turns on the session-mobility cost model: that
+// fraction of sessions halt mid-service, hold their source slot for
+// -sim-ckpt-cost while the checkpoint is cut, and resume on another
+// policy-picked backend after -sim-resume-cost — the simulator analogue
+// of the live -migrate path.
 package main
 
 import (
@@ -69,6 +84,8 @@ func main() {
 	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "backend /readyz+/metrics probe interval")
 	probeFails := flag.Int("probe-fails", 2, "consecutive probe failures before a backend is down")
 	grace := flag.Duration("grace", 15*time.Second, "drain period for in-flight sessions on SIGTERM")
+	migrate := flag.Bool("migrate", false, "checkpoint sessions and resume them on another backend when theirs drains or dies (session mobility)")
+	ckptEvery := flag.Int("ckpt-every", 32, "with -migrate, commits between session checkpoints")
 
 	sim := flag.Bool("sim", false, "run the deterministic cluster simulator instead of serving")
 	simPolicies := flag.String("sim-policies", strings.Join(cluster.PolicyNames(), ","), "policies to compare")
@@ -80,6 +97,9 @@ func main() {
 	simRate := flag.Float64("sim-rate", 0, "simulated admission rate in sessions/s (0: unlimited)")
 	simBurst := flag.Float64("sim-burst", 1, "simulated admission burst")
 	simSeed := flag.Uint64("sim-seed", 1, "workload trace seed")
+	simMigRate := flag.Float64("sim-migrate-rate", 0, "with -sim, probability a session migrates mid-service (0: model off)")
+	simCkptCost := flag.Duration("sim-ckpt-cost", 2*time.Millisecond, "with -sim-migrate-rate, source-slot time to cut the halt checkpoint")
+	simResumeCost := flag.Duration("sim-resume-cost", 5*time.Millisecond, "with -sim-migrate-rate, destination delay to restore the snapshot")
 	simWorkload := flag.String("workload", "", "with -sim, workload spec file replacing the -sim-arrival/-sim-duration exponential laws")
 	simRecord := flag.String("sim-record", "", "write the simulator's workload trace as NDJSON to this file and exit (no simulation)")
 	simReplay := flag.String("sim-replay", "", "with -sim, replay a recorded NDJSON workload trace instead of generating arrivals")
@@ -87,9 +107,11 @@ func main() {
 	flag.Parse()
 
 	if *sim || *simRecord != "" {
+		mig := cluster.MigrationSpec{Rate: *simMigRate,
+			CheckpointCost: *simCkptCost, ResumeCost: *simResumeCost}
 		spec, err := simSpec(*simSessions, *simBackends, *simSlots,
 			*simArrival, *simDuration, *simRate, *simBurst, *simSeed,
-			*simWorkload, *simReplay)
+			*simWorkload, *simReplay, mig)
 		if err == nil {
 			if *simRecord != "" {
 				err = recordSim(spec, *simRecord)
@@ -123,6 +145,7 @@ func main() {
 
 	reg := cluster.NewRegistry(bs...)
 	g := newGateway(reg, policy, cluster.NewTokenBucket(*rate, *burst))
+	g.migrate, g.ckptEvery = *migrate, *ckptEvery
 	prober := &cluster.Prober{Registry: reg, Interval: *probeInterval, FailThreshold: *probeFails}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -154,7 +177,8 @@ func main() {
 // spec file, or a recorded trace — the three arrival sources share one
 // validation path (ArrivalSpec.Normalized).
 func simSpec(sessions, backends, slots int, arrival, duration time.Duration,
-	rate, burst float64, seed uint64, workloadPath, replayPath string) (cluster.ArrivalSpec, error) {
+	rate, burst float64, seed uint64, workloadPath, replayPath string,
+	mig cluster.MigrationSpec) (cluster.ArrivalSpec, error) {
 	if workloadPath != "" && replayPath != "" {
 		return cluster.ArrivalSpec{}, fmt.Errorf("-workload and -sim-replay are mutually exclusive")
 	}
@@ -163,7 +187,12 @@ func simSpec(sessions, backends, slots int, arrival, duration time.Duration,
 		if err != nil {
 			return cluster.ArrivalSpec{}, err
 		}
-		return cluster.SpecFromWorkload(ws, backends, slots, rate, burst)
+		spec, err := cluster.SpecFromWorkload(ws, backends, slots, rate, burst)
+		if err != nil {
+			return cluster.ArrivalSpec{}, err
+		}
+		spec.Migration = mig
+		return spec, nil
 	}
 	spec := cluster.ArrivalSpec{
 		Sessions:         sessions,
@@ -174,6 +203,7 @@ func simSpec(sessions, backends, slots int, arrival, duration time.Duration,
 		Rate:             rate,
 		Burst:            burst,
 		Seed:             seed,
+		Migration:        mig,
 	}
 	if replayPath != "" {
 		tr, err := workload.LoadTrace(replayPath)

@@ -1,0 +1,35 @@
+// Command statsworker executes STATS chunks for a parent process: the
+// out-of-process half of internal/procexec's chunk executor.
+//
+// Usage:
+//
+//	statsworker
+//
+// It speaks NDJSON over stdin/stdout: the parent sends one "hello" line
+// binding the process to a session (benchmark, seed, session shape),
+// then one "chunk" line per chunk attempt; the worker replies with the
+// chunk's speculative state, outputs, and original states in the
+// benchmark's wire form. All randomness is re-derived from the session
+// seed and the chunk index, so replies are byte-identical to in-process
+// execution — and to any other statsworker process asked the same
+// question. The process exits cleanly when the parent closes stdin.
+//
+// statsworker is not meant to be run by hand; internal/procexec spawns
+// and supervises it (kill, respawn, retry) under the engine's SiteProc
+// fault domain.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	_ "gostats/internal/bench/all"
+	"gostats/internal/procexec"
+)
+
+func main() {
+	if err := procexec.ServeWorker(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "statsworker:", err)
+		os.Exit(1)
+	}
+}

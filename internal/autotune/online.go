@@ -172,3 +172,69 @@ func (o *Online) Resizes() (total, grows, shrinks int) {
 func (o *Online) History() []SizeChange {
 	return append([]SizeChange(nil), o.history...)
 }
+
+// OnlineState is the controller's complete resumable state: everything a
+// restored controller needs to make the exact same decisions a
+// never-interrupted one would, given the same outcome suffix. It is part
+// of the checkpoint snapshot payload (internal/checkpoint).
+type OnlineState struct {
+	Size     int          `json:"size"`
+	EpochN   int          `json:"epoch_n"`
+	Aborts   int          `json:"aborts"`
+	Outcomes int          `json:"outcomes"`
+	Resizes  int          `json:"resizes"`
+	Grows    int          `json:"grows"`
+	Shrinks  int          `json:"shrinks"`
+	History  []SizeChange `json:"history"`
+}
+
+// Snapshot captures the controller state. Like every accessor it must be
+// called by the controller's single owner.
+func (o *Online) Snapshot() *OnlineState {
+	return &OnlineState{
+		Size:     o.size,
+		EpochN:   o.epochN,
+		Aborts:   o.aborts,
+		Outcomes: o.outcomes,
+		Resizes:  o.resizes,
+		Grows:    o.grows,
+		Shrinks:  o.shrinks,
+		History:  append([]SizeChange(nil), o.history...),
+	}
+}
+
+// RestoreOnline rebuilds a controller from a snapshot so that feeding it
+// the outcome suffix of an interrupted session reproduces the exact
+// decision sequence of the uninterrupted one. cfg must be the session's
+// original controller configuration (the snapshot holds decisions, not
+// policy).
+func RestoreOnline(cfg OnlineConfig, st *OnlineState) (*Online, error) {
+	if st == nil {
+		return NewOnline(cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if st.Size < cfg.Min || st.Size > cfg.Max {
+		return nil, fmt.Errorf("autotune: restored size %d outside [%d, %d]", st.Size, cfg.Min, cfg.Max)
+	}
+	if st.EpochN < 0 || st.EpochN >= cfg.Window || st.Aborts < 0 || st.Aborts > st.EpochN {
+		return nil, fmt.Errorf("autotune: restored epoch counters invalid (epoch_n=%d aborts=%d window=%d)", st.EpochN, st.Aborts, cfg.Window)
+	}
+	o := &Online{
+		cfg:      cfg,
+		size:     st.Size,
+		epochN:   st.EpochN,
+		aborts:   st.Aborts,
+		outcomes: st.Outcomes,
+		resizes:  st.Resizes,
+		grows:    st.Grows,
+		shrinks:  st.Shrinks,
+		history:  append([]SizeChange(nil), st.History...),
+	}
+	if len(o.history) == 0 {
+		o.history = []SizeChange{{Outcome: 0, Size: o.size}}
+	}
+	return o, nil
+}

@@ -1,4 +1,4 @@
-package facetrack
+package facedetrack
 
 import (
 	"encoding/json"
@@ -10,19 +10,19 @@ import (
 )
 
 func init() {
-	bench.RegisterCodec("facetrack", func() bench.StreamCodec { return codec{} })
-	bench.RegisterWire("facetrack", func() bench.WireCodec { return codec{} })
+	bench.RegisterCodec("facedet-and-track", func() bench.StreamCodec { return codec{} })
+	bench.RegisterWire("facedet-and-track", func() bench.WireCodec { return codec{} })
 }
 
-// codec streams facetrack over NDJSON: one trackutil.Frame per request
-// line, one Result per committed output line, and the particle cloud as
-// state for checkpoints and out-of-process chunk execution.
+// codec streams facedet-and-track over NDJSON: one trackutil.Frame per
+// request line, one Result per committed output line, and the particle
+// cloud as state for checkpoints and out-of-process chunk execution.
 type codec struct{}
 
 func (codec) DecodeInput(data []byte) (core.Input, error) {
 	var fr trackutil.Frame
 	if err := json.Unmarshal(data, &fr); err != nil {
-		return nil, fmt.Errorf("facetrack: bad frame: %w", err)
+		return nil, fmt.Errorf("facedet-and-track: bad frame: %w", err)
 	}
 	return fr, nil
 }
@@ -30,7 +30,7 @@ func (codec) DecodeInput(data []byte) (core.Input, error) {
 func (codec) EncodeInput(in core.Input) ([]byte, error) {
 	fr, ok := in.(trackutil.Frame)
 	if !ok {
-		return nil, fmt.Errorf("facetrack: input is %T, want trackutil.Frame", in)
+		return nil, fmt.Errorf("facedet-and-track: input is %T, want trackutil.Frame", in)
 	}
 	return json.Marshal(fr)
 }
@@ -38,7 +38,7 @@ func (codec) EncodeInput(in core.Input) ([]byte, error) {
 func (codec) EncodeOutput(out core.Output) ([]byte, error) {
 	res, ok := out.(Result)
 	if !ok {
-		return nil, fmt.Errorf("facetrack: output is %T, want Result", out)
+		return nil, fmt.Errorf("facedet-and-track: output is %T, want Result", out)
 	}
 	return json.Marshal(res)
 }
@@ -46,7 +46,7 @@ func (codec) EncodeOutput(out core.Output) ([]byte, error) {
 func (codec) DecodeOutput(data []byte) (core.Output, error) {
 	var res Result
 	if err := json.Unmarshal(data, &res); err != nil {
-		return nil, fmt.Errorf("facetrack: bad result: %w", err)
+		return nil, fmt.Errorf("facedet-and-track: bad result: %w", err)
 	}
 	return res, nil
 }
@@ -54,7 +54,7 @@ func (codec) DecodeOutput(data []byte) (core.Output, error) {
 func (codec) EncodeState(s core.State) ([]byte, error) {
 	c, ok := s.(*trackutil.Cloud)
 	if !ok {
-		return nil, fmt.Errorf("facetrack: state is %T, want *trackutil.Cloud", s)
+		return nil, fmt.Errorf("facedet-and-track: state is %T, want *trackutil.Cloud", s)
 	}
 	return json.Marshal(c.Wire())
 }
@@ -62,7 +62,7 @@ func (codec) EncodeState(s core.State) ([]byte, error) {
 func (codec) DecodeState(data []byte) (core.State, error) {
 	var w trackutil.WireCloud
 	if err := json.Unmarshal(data, &w); err != nil {
-		return nil, fmt.Errorf("facetrack: bad state: %w", err)
+		return nil, fmt.Errorf("facedet-and-track: bad state: %w", err)
 	}
 	return w.Live(), nil
 }

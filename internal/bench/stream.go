@@ -56,3 +56,58 @@ func CodecNames() []string {
 	sort.Strings(out)
 	return out
 }
+
+// WireCodec extends StreamCodec with state serialization: what checkpoint
+// snapshots (the frontier lineage) and the out-of-process chunk protocol
+// (speculative/final/original states) need that a served session does
+// not. The contract is stronger than "round-trips": DecodeState must
+// yield a state that is bit-equivalent to the original under Update,
+// Fingerprint, and EncodeState — float64 fields must survive exactly
+// (encoders use encoding/json, which round-trips float64 losslessly) and
+// any internal derived structure (caches, hash tables) must be rebuilt to
+// the same observable contents. That is what makes a resumed or remotely
+// executed session byte-identical to an uninterrupted in-process one.
+type WireCodec interface {
+	StreamCodec
+	// DecodeOutput parses an EncodeOutput line back into a live output —
+	// the return half of the out-of-process chunk protocol. Like inputs,
+	// outputs must round-trip exactly: EncodeOutput(DecodeOutput(line))
+	// reproduces line byte for byte.
+	DecodeOutput(data []byte) (core.Output, error)
+	// EncodeState renders a benchmark state as one line (no newline).
+	EncodeState(s core.State) ([]byte, error)
+	// DecodeState parses an EncodeState line back into a live state.
+	DecodeState(data []byte) (core.State, error)
+}
+
+var wires = map[string]func() WireCodec{}
+
+// RegisterWire adds a wire codec under the benchmark's registered name.
+// Like Register, it panics on duplicates.
+func RegisterWire(name string, ctor func() WireCodec) {
+	if _, dup := wires[name]; dup {
+		panic(fmt.Sprintf("bench: duplicate wire codec %q", name))
+	}
+	wires[name] = ctor
+}
+
+// WireFor instantiates the wire codec registered for name. Not every
+// benchmark has one; the error lists those that do.
+func WireFor(name string) (WireCodec, error) {
+	ctor, ok := wires[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: no wire codec for %q (have %v)", name, WireNames())
+	}
+	return ctor(), nil
+}
+
+// WireNames lists benchmarks with wire codecs in sorted order.
+func WireNames() []string {
+	out := make([]string, 0, len(wires))
+	//statslint:allow detpath keys are sorted below before any order-sensitive use
+	for n := range wires {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

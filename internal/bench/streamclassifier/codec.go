@@ -8,10 +8,15 @@ import (
 	"gostats/internal/core"
 )
 
-func init() { bench.RegisterCodec("streamclassifier", func() bench.StreamCodec { return codec{} }) }
+func init() {
+	bench.RegisterCodec("streamclassifier", func() bench.StreamCodec { return codec{} })
+	bench.RegisterWire("streamclassifier", func() bench.WireCodec { return codec{} })
+}
 
 // codec streams streamclassifier over NDJSON: one labeled Block per
-// request line, one BlockAccuracy per committed output line.
+// request line, one BlockAccuracy per committed output line, and the
+// 104-byte weight state for checkpoints and out-of-process chunk
+// execution.
 type codec struct{}
 
 func (codec) DecodeInput(data []byte) (core.Input, error) {
@@ -36,4 +41,36 @@ func (codec) EncodeOutput(out core.Output) ([]byte, error) {
 		return nil, fmt.Errorf("streamclassifier: output is %T, want BlockAccuracy", out)
 	}
 	return json.Marshal(ba)
+}
+
+func (codec) DecodeOutput(data []byte) (core.Output, error) {
+	var ba BlockAccuracy
+	if err := json.Unmarshal(data, &ba); err != nil {
+		return nil, fmt.Errorf("streamclassifier: bad block accuracy: %w", err)
+	}
+	return ba, nil
+}
+
+// wireState is sgdState's serialized form.
+type wireState struct {
+	W       [features]float64 `json:"w"`
+	N       float64           `json:"n"`
+	ErrRate float64           `json:"err_rate"`
+	Protos  float64           `json:"protos"`
+}
+
+func (codec) EncodeState(s core.State) ([]byte, error) {
+	st, ok := s.(*sgdState)
+	if !ok {
+		return nil, fmt.Errorf("streamclassifier: state is %T, want *sgdState", s)
+	}
+	return json.Marshal(wireState{W: st.w, N: st.n, ErrRate: st.errRate, Protos: st.protos})
+}
+
+func (codec) DecodeState(data []byte) (core.State, error) {
+	var w wireState
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("streamclassifier: bad state: %w", err)
+	}
+	return &sgdState{w: w.W, n: w.N, errRate: w.ErrRate, protos: w.Protos}, nil
 }

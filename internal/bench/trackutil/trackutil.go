@@ -234,6 +234,39 @@ func CloneCloudInto(dst, src *Cloud) *Cloud {
 	return dst
 }
 
+// WireCloud is Cloud's serialized form for checkpoint snapshots and the
+// out-of-process chunk protocol: the logical state only. The region ID is
+// minted fresh on decode (state identity is process-local, and a decoded
+// cloud IS a new live state — exactly like a clone); working storage is
+// not carried (it is rebuilt lazily and never read before written).
+type WireCloud struct {
+	P    []float64 `json:"p"`
+	W    []float64 `json:"w"`
+	N    int       `json:"n"`
+	Dims int       `json:"dims"`
+	Age  int       `json:"age"`
+	Cold bool      `json:"cold,omitempty"`
+}
+
+// Wire converts the cloud to its serialized form. The wire form aliases
+// the cloud's slices; marshal it before the cloud steps again.
+func (c *Cloud) Wire() WireCloud {
+	return WireCloud{P: c.P, W: c.W, N: c.N, Dims: c.Dims, Age: c.Age, Cold: c.Cold}
+}
+
+// Live rebuilds a cloud from its wire form, assigning a fresh region ID.
+func (w WireCloud) Live() *Cloud {
+	return &Cloud{
+		P:    append([]float64(nil), w.P...),
+		W:    append([]float64(nil), w.W...),
+		N:    w.N,
+		Dims: w.Dims,
+		ID:   idCounter.Add(1),
+		Age:  w.Age,
+		Cold: w.Cold,
+	}
+}
+
 // Digest summarizes the cloud for digest-gated validation
 // (core.Fingerprinter): the leading coordinates of the posterior-mean
 // estimate, quantized at cell. Trackers match on the Euclidean distance

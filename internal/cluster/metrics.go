@@ -14,6 +14,7 @@ import (
 type GateMetrics struct {
 	Routed        atomic.Int64 // sessions handed to a backend
 	Reroutes      atomic.Int64 // backend sheds retried on another backend
+	Migrations    atomic.Int64 // sessions resumed on another backend mid-stream
 	ShedAdmission atomic.Int64 // sessions 429d by the token bucket
 	ShedCapacity  atomic.Int64 // sessions 429d with every backend refusing
 	BackendErrors atomic.Int64 // transport errors talking to backends
@@ -23,6 +24,7 @@ type GateMetrics struct {
 // each, in the same name=value grammar statsserved uses.
 func (m *GateMetrics) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "gate/counter[backend_errors]=%d\n", m.BackendErrors.Load())
+	fmt.Fprintf(w, "gate/counter[migrations]=%d\n", m.Migrations.Load())
 	fmt.Fprintf(w, "gate/counter[reroutes]=%d\n", m.Reroutes.Load())
 	fmt.Fprintf(w, "gate/counter[sessions_routed]=%d\n", m.Routed.Load())
 	fmt.Fprintf(w, "gate/counter[sessions_shed_admission]=%d\n", m.ShedAdmission.Load())

@@ -65,6 +65,66 @@ func TestGatewayBaselineRegression(t *testing.T) {
 	}
 }
 
+// TestMigrateBaselineRegression is the session-mobility cost model's
+// equivalence gate, the migration analogue of the gateway test above:
+// the committed seed-42 migration block must reproduce exactly,
+// decision hash included. A moved hash means the migration draws or the
+// resume re-pick disturbed the decision sequence.
+func TestMigrateBaselineRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200k-session baseline replay skipped in -short")
+	}
+	raw, err := os.ReadFile("../../BENCH_streaming.json")
+	if err != nil {
+		t.Fatalf("reading baseline: %v", err)
+	}
+	var doc struct {
+		Migration struct {
+			Seed         uint64                  `json:"seed"`
+			Rate         float64                 `json:"migrate_rate"`
+			CkptCostNS   int64                   `json:"ckpt_cost_ns"`
+			ResumeCostNS int64                   `json:"resume_cost_ns"`
+			Rows         map[string]PolicyResult `json:"rows"`
+		} `json:"migration"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("parsing baseline: %v", err)
+	}
+	if len(doc.Migration.Rows) == 0 {
+		t.Fatal("baseline has no migration rows")
+	}
+	spec := ArrivalSpec{
+		Sessions:         200000,
+		Backends:         8,
+		SlotsPerBackend:  16,
+		MeanInterarrival: time.Millisecond,
+		MeanDuration:     100 * time.Millisecond,
+		Burst:            1,
+		Seed:             doc.Migration.Seed,
+		Migration: MigrationSpec{
+			Rate:           doc.Migration.Rate,
+			CheckpointCost: time.Duration(doc.Migration.CkptCostNS),
+			ResumeCost:     time.Duration(doc.Migration.ResumeCostNS),
+		},
+	}
+	for key, want := range doc.Migration.Rows {
+		p, err := PolicyFor(want.Policy)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		got, err := Simulate(spec, p)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if got.Migrations == 0 {
+			t.Errorf("%s: migration model drew no migrations", key)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: result diverged from baseline:\n got %+v\nwant %+v", key, got, want)
+		}
+	}
+}
+
 // modulatedSpec exercises every workload seam at once: non-exponential
 // laws, a weighted mix, and both modulator kinds.
 func modulatedSpec() ArrivalSpec {

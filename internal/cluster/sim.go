@@ -58,7 +58,34 @@ type ArrivalSpec struct {
 	// the generator streams go untouched. Sessions is overridden by the
 	// trace's length.
 	Trace *workload.Trace
+
+	// Migration models checkpointed session mobility (statsgate
+	// -migrate): a fraction of sessions halt mid-service, pay a
+	// checkpoint cost on their source backend, and resume — after a
+	// resume cost — on another backend the policy picks. Zero Rate
+	// disables the model and leaves every baseline trace and decision
+	// hash untouched.
+	Migration MigrationSpec
 }
+
+// MigrationSpec parameterizes the simulator's session-mobility model.
+// The costs plug in at the same exogenous-duration seam as service
+// times: virtual time charged against a backend slot, not a measurement
+// of real checkpoint encode/restore work.
+type MigrationSpec struct {
+	// Rate is the probability a session migrates once mid-service.
+	Rate float64
+	// CheckpointCost holds the source backend's slot after the halt
+	// point while the final snapshot is cut (serve's halt-to-trailer
+	// window).
+	CheckpointCost time.Duration
+	// ResumeCost delays the destination backend's service start while
+	// the snapshot restores (statsworker respawn + state decode).
+	ResumeCost time.Duration
+}
+
+// Enabled reports whether the model draws any migrations at all.
+func (m MigrationSpec) Enabled() bool { return m.Rate > 0 }
 
 func (s ArrivalSpec) withDefaults() ArrivalSpec {
 	if s.Backends <= 0 {
@@ -116,6 +143,12 @@ func (s ArrivalSpec) Validate() error {
 			return fmt.Errorf("cluster: modulator %d: %w", i, err)
 		}
 	}
+	if s.Migration.Rate < 0 || s.Migration.Rate > 1 {
+		return fmt.Errorf("cluster: Migration.Rate %v outside [0, 1]", s.Migration.Rate)
+	}
+	if s.Migration.CheckpointCost < 0 || s.Migration.ResumeCost < 0 {
+		return fmt.Errorf("cluster: negative migration costs")
+	}
 	return nil
 }
 
@@ -154,6 +187,10 @@ type PolicyResult struct {
 	// 1 is perfectly even, 1/N is one backend taking everything.
 	Fairness   float64 `json:"jain_fairness"`
 	PerBackend []int   `json:"per_backend"`
+	// Migrations counts sessions halted mid-service and resumed on
+	// another backend under spec.Migration; omitted (0) when the model
+	// is off, so baseline result files are byte-stable.
+	Migrations int64 `json:"migrations,omitempty"`
 	// Decisions is an FNV-1a hash over the full routing decision
 	// sequence (session seq, chosen backend, outcome). Two runs made
 	// identical decisions iff their hashes match — the simulator's
@@ -213,6 +250,13 @@ func Simulate(spec ArrivalSpec, policy RoutingPolicy) (PolicyResult, error) {
 	if err != nil {
 		return PolicyResult{}, err
 	}
+	// The migration stream is derived only when the model is on: Derive
+	// never advances the parent, so an off model provably touches no RNG
+	// state the baseline streams see.
+	var migRoot *rng.Stream
+	if spec.Migration.Enabled() {
+		migRoot = root.Derive("cluster-migration")
+	}
 
 	res := PolicyResult{Policy: policy.Name(), Sessions: spec.Sessions,
 		PerBackend: make([]int, spec.Backends)}
@@ -243,6 +287,46 @@ func Simulate(spec ArrivalSpec, policy RoutingPolicy) (PolicyResult, error) {
 			reg.EndSession(id)
 			res.Completed++
 			res.PerBackend[index[id]]++
+		}
+	}
+	// resume fires at a migrating session's halt point: the source slot
+	// (held through the checkpoint cut) frees, and the policy picks a
+	// backend to resume on for ResumeCost plus the remaining service
+	// time. The re-pick excludes src — the live gateway's halted backend
+	// is draining and sheds anything sent back to it.
+	resume := func(seq uint64, benchmark, src string, remaining int64) func(int64) {
+		return func(int64) {
+			reg.EndSession(src)
+			res.Migrations++
+			mixHash(seq, rendezvousWeight("halt", src), 4)
+			key := SessionKey{Benchmark: benchmark, Seq: seq}
+			candidates := reg.Ready()
+			for i := range candidates {
+				if candidates[i].ID == src {
+					candidates = append(candidates[:i:i], candidates[i+1:]...)
+					break
+				}
+			}
+			for len(candidates) > 0 {
+				i := policy.Pick(candidates, key)
+				b := candidates[i]
+				if b.InFlight >= spec.SlotsPerBackend {
+					reg.MarkShed(b.ID)
+					res.Reroutes++
+					mixHash(seq, rendezvousWeight("shed", b.ID), 2)
+					candidates = append(candidates[:i:i], candidates[i+1:]...)
+					continue
+				}
+				reg.StartSession(b.ID)
+				reg.MarkRouted(b.ID)
+				schedule(now+int64(spec.Migration.ResumeCost)+remaining, depart(b.ID))
+				mixHash(seq, rendezvousWeight("resume", b.ID), 5)
+				return
+			}
+			// Nowhere to resume: the session is lost mid-stream, the
+			// simulator's analogue of the gateway's stranded session.
+			res.ShedCapacity++
+			mixHash(seq, ^uint64(0), 6)
 		}
 	}
 
@@ -301,9 +385,19 @@ func Simulate(spec ArrivalSpec, policy RoutingPolicy) (PolicyResult, error) {
 			}
 			reg.StartSession(b.ID)
 			reg.MarkRouted(b.ID)
-			schedule(now+dur, depart(b.ID))
 			mixHash(seq, rendezvousWeight("route", b.ID), 1)
 			routed = true
+			if m := spec.Migration; m.Enabled() {
+				// One draw stream per session seq: whether it migrates
+				// and where in its service time the halt lands.
+				if r := migRoot.DeriveN("session", int(seq)); r.Bool(m.Rate) {
+					runFor := int64(r.Float64() * float64(dur))
+					schedule(now+runFor+int64(m.CheckpointCost),
+						resume(seq, benchmark, b.ID, dur-runFor))
+					break
+				}
+			}
+			schedule(now+dur, depart(b.ID))
 			break
 		}
 		if !routed {

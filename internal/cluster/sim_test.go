@@ -149,6 +149,63 @@ func TestClusterCompareSharesTrace(t *testing.T) {
 	}
 }
 
+// TestClusterSimMigrateModel covers the session-mobility cost model's
+// contract: an off model (Rate 0) is invisible even with costs set — bit
+// for bit, hash included; an on model is deterministic, draws roughly
+// Rate·sessions migrations, and keeps the arrival accounting invariant
+// (migrated sessions complete once, on their final backend; a session
+// with nowhere to resume is a capacity shed).
+func TestClusterSimMigrateModel(t *testing.T) {
+	base, err := Simulate(simSpec(), LeastLoaded{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := simSpec()
+	off.Migration = MigrationSpec{Rate: 0, CheckpointCost: 5 * time.Millisecond, ResumeCost: 5 * time.Millisecond}
+	offRes, err := Simulate(off, LeastLoaded{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, offRes) {
+		t.Fatalf("Rate 0 model disturbed the baseline:\n base %+v\n  off %+v", base, offRes)
+	}
+
+	on := simSpec()
+	on.Migration = MigrationSpec{Rate: 0.1, CheckpointCost: 2 * time.Millisecond, ResumeCost: 5 * time.Millisecond}
+	for _, name := range PolicyNames() {
+		p, _ := PolicyFor(name)
+		a, err := Simulate(on, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Simulate(on, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: migration model not deterministic:\n%+v\n%+v", name, a, b)
+		}
+		want := on.Migration.Rate * float64(on.Sessions)
+		if f := float64(a.Migrations); f < 0.8*want || f > 1.2*want {
+			t.Fatalf("%s: %d migrations, want about %.0f", name, a.Migrations, want)
+		}
+		if a.Completed != a.Admitted-a.ShedCapacity {
+			t.Fatalf("%s: migration broke accounting: completed %d, admitted %d, capacity-shed %d",
+				name, a.Completed, a.Admitted, a.ShedCapacity)
+		}
+		sum := 0
+		for _, c := range a.PerBackend {
+			sum += c
+		}
+		if sum != a.Completed {
+			t.Fatalf("%s: per-backend sum %d != completed %d", name, sum, a.Completed)
+		}
+		if a.Decisions == base.Decisions && name == "leastloaded" {
+			t.Fatalf("%s: migration left the decision hash untouched", name)
+		}
+	}
+}
+
 // TestClusterSimRejectsBadSpec: zero sessions is an error, not a hang.
 func TestClusterSimRejectsBadSpec(t *testing.T) {
 	if _, err := Simulate(ArrivalSpec{}, RoundRobin{}); err == nil {

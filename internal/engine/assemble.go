@@ -22,6 +22,15 @@ func (p *Pipeline) assemble() {
 	j := 0        // next chunk index
 	consumed := 0 // commit outcomes consumed so far
 	var prevWindow []Input
+	if rs := p.resume; rs != nil {
+		// Resume at the snapshot frontier: the first chunk to assemble is
+		// the first uncommitted one, its window was decoded from the
+		// snapshot, and the outcomes preloaded into the ring stand in for
+		// the ones the interrupted assembler had not consumed yet.
+		j = rs.next
+		consumed = rs.next - len(rs.pending)
+		prevWindow = rs.prevWindow
+	}
 
 	size, ok := p.sizeFor(j, &consumed)
 	if !ok {
@@ -34,7 +43,12 @@ func (p *Pipeline) assemble() {
 		if n := p.in.PopBatch(buf[len(buf):size]); n > 0 {
 			buf = buf[:len(buf)+n]
 		} else {
-			in, err := p.in.Pop(p.ctx.Done())
+			// Park on down, not the context alone: Halt stops assembly here
+			// with ErrCanceled, deliberately NOT the ErrClosed path below —
+			// a halted session must not flush a partial chunk, because the
+			// resumed session will re-read those inputs and re-derive the
+			// boundary itself.
+			in, err := p.in.Pop(p.down)
 			if err == ring.ErrClosed {
 				// End of stream: flush the final partial chunk. No sizing
 				// decision is needed for it, so no outcome wait either.
@@ -74,7 +88,7 @@ func (p *Pipeline) assemble() {
 func (p *Pipeline) sizeFor(j int, consumed *int) (int, bool) {
 	need := j - p.cfg.Workers
 	for *consumed < need {
-		committed, err := p.outcomes.Pop(p.ctx.Done())
+		committed, err := p.outcomes.Pop(p.down)
 		if err != nil {
 			return 0, false
 		}

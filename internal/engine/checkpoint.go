@@ -1,0 +1,381 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"gostats/internal/autotune"
+	"gostats/internal/checkpoint"
+)
+
+// This file is the engine half of checkpointed sessions (DESIGN.md §12):
+// emitting commit-frontier snapshots while a pipeline runs, halting a
+// pipeline at a chunk boundary without disturbing its committed prefix,
+// and restoring a snapshot into a fresh pipeline that produces
+// byte-identical remaining outputs.
+//
+// The one structural fact that makes this small: at a commit boundary the
+// session's entire future is determined by (seed, session shape, frontier
+// lineage, previous window, controller state). Worker rng streams are
+// derived per chunk index — never advanced across chunks — so no stream
+// positions exist to capture; in-flight speculative work is discarded and
+// re-derived identically on resume.
+
+// SessionCodec serializes one benchmark's inputs, outputs, and states for
+// checkpoints and the out-of-process chunk protocol. bench.WireCodec
+// satisfies it; the engine keeps only the interface so it never depends
+// on benchmark packages.
+type SessionCodec interface {
+	DecodeInput(data []byte) (Input, error)
+	EncodeInput(in Input) ([]byte, error)
+	EncodeOutput(out Output) ([]byte, error)
+	EncodeState(s State) ([]byte, error)
+	DecodeState(data []byte) (State, error)
+}
+
+// CheckpointConfig enables periodic commit-frontier snapshots.
+type CheckpointConfig struct {
+	// Codec serializes window inputs and lineage states into snapshots.
+	// Required when checkpointing is enabled.
+	Codec SessionCodec
+	// EveryCommits emits a snapshot each time this many chunks have
+	// committed since the last one. 0 disables commit-count triggering.
+	EveryCommits int
+	// EveryBytes emits a snapshot each time this many encoded output
+	// bytes have been committed since the last one. 0 disables byte
+	// triggering. Counting re-encodes committed outputs, so it costs one
+	// extra encode per output; prefer EveryCommits when both would do.
+	EveryBytes int64
+	// OnSnapshot observes every emitted snapshot, synchronously from the
+	// commit stage. It must not block for long — the commit frontier is
+	// stalled while it runs — and must not retain the snapshot's slices
+	// past its return unless it treats them as immutable (they are never
+	// reused by the engine).
+	OnSnapshot func(*checkpoint.Snapshot)
+}
+
+func (c CheckpointConfig) enabled() bool {
+	return c.EveryCommits > 0 || c.EveryBytes > 0 || c.OnSnapshot != nil
+}
+
+// ResumeConfig restores a pipeline from a snapshot. The pipeline adopts
+// the snapshot's session shape (chunk size, lookback, workers, seed, …)
+// wholesale — resuming under different parameters would move chunk
+// boundaries and break byte-identity — and starts at its commit frontier:
+// the caller feeds the input stream from snapshot index Inputs onward.
+type ResumeConfig struct {
+	Snap *checkpoint.Snapshot
+	// Codec decodes the snapshot's states and window inputs. Defaults to
+	// Checkpoint.Codec.
+	Codec SessionCodec
+}
+
+// ChunkRequest asks an executor to run one chunk's worker-side protocol.
+type ChunkRequest struct {
+	// Chunk is the session-monotonic chunk index; every rng derivation
+	// the executor needs is keyed by it.
+	Chunk int
+	// Attempt counts fault retries; attempts re-derive the same streams,
+	// so any successful attempt returns identical bytes.
+	Attempt int
+	// Window is the predecessor chunk's lookback window (nil for chunk
+	// 0); Inputs is the chunk body.
+	Window []Input
+	Inputs []Input
+}
+
+// ChunkReply carries the worker-side protocol's products: the published
+// speculative start state (nil for chunk 0), the speculative outputs, the
+// final state, and the original-state replicas for the successor's
+// boundary validation (Origs[0] is Final).
+type ChunkReply struct {
+	Spec  State
+	Outs  []Output
+	Final State
+	Origs []State
+}
+
+// ChunkRunner executes chunks somewhere other than the calling
+// goroutine — out of process (procexec.Pool), potentially off-host. A
+// runner's reply must be byte-identical to in-process execution of the
+// same request; the cross-executor equivalence matrix enforces this for
+// procexec. Errors are surfaced as retryable SiteProc chunk faults; after
+// the retry budget the chunk degrades to the in-process path.
+type ChunkRunner interface {
+	RunChunk(ctx context.Context, req ChunkRequest) (*ChunkReply, error)
+}
+
+// Halt stops the pipeline at the commit frontier: chunk assembly stops
+// without flushing a partial chunk (the undispatched ingest tail is
+// deliberately dropped — a resumed session re-reads it from the source),
+// in-flight chunks drain and commit normally, and — when checkpointing is
+// configured — the commit stage emits one final snapshot before Outputs
+// closes. Push returns ErrClosed afterwards. Halt after Close is a no-op:
+// the stream is already ending normally, boundaries included.
+func (p *Pipeline) Halt() {
+	if !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if p.halted.CompareAndSwap(false, true) {
+		close(p.haltCh)
+	}
+}
+
+// Halted reports whether Halt stopped this pipeline (as opposed to a
+// normal Close or an abandonment). Meaningful once Outputs has closed.
+func (p *Pipeline) Halted() bool { return p.halted.Load() }
+
+// resumeState is the decoded, engine-typed form of a snapshot, built once
+// in NewStream and consumed by the assembler and commit stages at start.
+type resumeState struct {
+	next       int   // first chunk to assemble and commit
+	inputs     int64 // committed inputs so far (absolute)
+	prevWindow []Input
+	lineage    []State // [0] is the frontier final state
+	pending    []bool  // outcome preload for the assembler's window
+	ctl        *autotune.OnlineState
+	// rawWindow/rawLineage keep the snapshot's encoded forms so a session
+	// that halts before committing anything new can re-emit its resume
+	// point without re-encoding.
+	rawWindow  [][]byte
+	rawLineage [][]byte
+}
+
+// buildResume validates and decodes a snapshot against prog and the
+// (already defaulted) config.
+func buildResume(prog Program, cfg StreamConfig) (*resumeState, error) {
+	snap := cfg.Resume.Snap
+	codec := cfg.Resume.Codec
+	if codec == nil {
+		codec = cfg.Checkpoint.Codec
+	}
+	if snap == nil {
+		return nil, fmt.Errorf("stream: Resume.Snap is nil")
+	}
+	if err := snap.Validate(); err != nil {
+		return nil, err
+	}
+	if snap.Benchmark != prog.Name() {
+		return nil, fmt.Errorf("stream: snapshot is for %q, pipeline runs %q", snap.Benchmark, prog.Name())
+	}
+	if codec == nil {
+		return nil, fmt.Errorf("stream: Resume needs a SessionCodec to decode the snapshot")
+	}
+	rs := &resumeState{
+		next:       snap.NextChunk,
+		inputs:     snap.Inputs,
+		pending:    append([]bool(nil), snap.Pending...),
+		ctl:        snap.Controller,
+		rawWindow:  snap.PrevWindow,
+		rawLineage: snap.Lineage,
+	}
+	for i, raw := range snap.PrevWindow {
+		in, err := codec.DecodeInput(raw)
+		if err != nil {
+			return nil, fmt.Errorf("stream: snapshot window input %d: %w", i, err)
+		}
+		rs.prevWindow = append(rs.prevWindow, in)
+	}
+	for i, raw := range snap.Lineage {
+		s, err := codec.DecodeState(raw)
+		if err != nil {
+			return nil, fmt.Errorf("stream: snapshot lineage state %d: %w", i, err)
+		}
+		rs.lineage = append(rs.lineage, s)
+	}
+	if rs.next > 0 && len(rs.prevWindow) == 0 {
+		return nil, fmt.Errorf("stream: snapshot at chunk %d has no lookback window", rs.next)
+	}
+	return rs, nil
+}
+
+// ckptTracker lives in the commit stage and decides when to capture. It
+// shadows the assembler's adaptive controller by folding outcomes exactly
+// as the restored assembler will: the last min(commits, Workers) outcomes
+// stay pending (the restored outcome-window preload), everything older is
+// recorded into the shadow controller.
+type ckptTracker struct {
+	p          *Pipeline
+	cfg        CheckpointConfig
+	shadow     *autotune.Online // nil when the session does not adapt
+	pending    []bool
+	inputs     int64 // committed inputs, absolute across resumes
+	commitsAcc int   // commits since the last capture
+	bytesAcc   int64 // encoded output bytes since the last capture
+	resumeNext int   // frontier chunk index this session resumed at
+	baseWindow [][]byte
+	baseLine   [][]byte
+	err        error // first encode failure; checkpointing disabled after
+}
+
+// newCkptTracker builds the tracker, restoring its shadow state when the
+// pipeline itself is a resume.
+func newCkptTracker(p *Pipeline, rs *resumeState) (*ckptTracker, error) {
+	t := &ckptTracker{p: p, cfg: p.cfg.Checkpoint}
+	if p.cfg.Adapt {
+		var st *autotune.OnlineState
+		if rs != nil {
+			st = rs.ctl
+		}
+		shadow, err := autotune.RestoreOnline(p.onlineConfig(), st)
+		if err != nil {
+			return nil, err
+		}
+		t.shadow = shadow
+	}
+	if rs != nil {
+		t.pending = append([]bool(nil), rs.pending...)
+		t.inputs = rs.inputs
+		t.resumeNext = rs.next
+		t.baseWindow = rs.rawWindow
+		t.baseLine = rs.rawLineage
+	}
+	return t, nil
+}
+
+// onCommit observes one applied chunk at the frontier (commit or
+// recovered abort — either way its outputs are now committed) and
+// captures a snapshot when an interval is due. Called with the chunk's
+// job inputs and the just-updated lineage still live.
+func (t *ckptTracker) onCommit(j int, jobInputs []Input, outs []Output, prev *committed, committedOK bool) {
+	t.pending = append(t.pending, committedOK)
+	for len(t.pending) > t.p.cfg.Workers {
+		if t.shadow != nil {
+			t.shadow.Record(t.pending[0])
+		}
+		t.pending = t.pending[1:]
+	}
+	t.inputs += int64(len(outs))
+	t.commitsAcc++
+	if t.err != nil {
+		return
+	}
+	if t.cfg.EveryBytes > 0 {
+		for _, out := range outs {
+			b, err := t.cfg.Codec.EncodeOutput(out)
+			if err != nil {
+				t.disable(err)
+				return
+			}
+			t.bytesAcc += int64(len(b)) + 1
+		}
+	}
+	due := (t.cfg.EveryCommits > 0 && t.commitsAcc >= t.cfg.EveryCommits) ||
+		(t.cfg.EveryBytes > 0 && t.bytesAcc >= t.cfg.EveryBytes)
+	if !due {
+		return
+	}
+	if snap := t.capture(j, jobInputs, prev); snap != nil {
+		t.deliver(snap)
+	}
+}
+
+// finalize emits the halt snapshot: the frontier exactly as the drain
+// left it. Called by the commit stage after its loop ends cleanly on a
+// halted pipeline; next is the first uncommitted chunk index, prevInputs
+// the last committed chunk's inputs (nil when nothing committed since
+// start or resume).
+func (t *ckptTracker) finalize(next int, prevInputs []Input, prev *committed) {
+	if t.err != nil {
+		return
+	}
+	var snap *checkpoint.Snapshot
+	if next == t.resumeNext {
+		// Nothing newly committed: re-emit the resume point (or, on a
+		// fresh session, an empty chunk-0 snapshot).
+		snap = t.skeleton()
+		snap.NextChunk = t.resumeNext
+		snap.PrevWindow = t.baseWindow
+		snap.Lineage = t.baseLine
+	} else {
+		snap = t.capture(next-1, prevInputs, prev)
+	}
+	if snap != nil {
+		t.deliver(snap)
+	}
+}
+
+// capture serializes the frontier after chunk j committed.
+func (t *ckptTracker) capture(j int, jobInputs []Input, prev *committed) *checkpoint.Snapshot {
+	snap := t.skeleton()
+	snap.NextChunk = j + 1
+	for i, in := range t.p.chunkWindow(jobInputs) {
+		b, err := t.cfg.Codec.EncodeInput(in)
+		if err != nil {
+			t.disable(fmt.Errorf("checkpoint: encode window input %d: %w", i, err))
+			return nil
+		}
+		snap.PrevWindow = append(snap.PrevWindow, b)
+	}
+	for i, s := range prev.origs {
+		b, err := t.cfg.Codec.EncodeState(s)
+		if err != nil {
+			t.disable(fmt.Errorf("checkpoint: encode lineage state %d: %w", i, err))
+			return nil
+		}
+		snap.Lineage = append(snap.Lineage, b)
+	}
+	return snap
+}
+
+// skeleton fills the session-shape and controller fields common to every
+// snapshot of this pipeline.
+func (t *ckptTracker) skeleton() *checkpoint.Snapshot {
+	cfg := t.p.cfg
+	snap := &checkpoint.Snapshot{
+		Benchmark:   t.p.prog.Name(),
+		Seed:        cfg.Seed,
+		ChunkSize:   cfg.ChunkSize,
+		Lookback:    cfg.Lookback,
+		ExtraStates: cfg.ExtraStates,
+		InnerWidth:  cfg.InnerWidth,
+		Workers:     cfg.Workers,
+		Adapt:       cfg.Adapt,
+		MinChunk:    cfg.MinChunk,
+		MaxChunk:    cfg.MaxChunk,
+		Inputs:      t.inputs,
+		Pending:     append([]bool(nil), t.pending...),
+	}
+	if t.shadow != nil {
+		snap.Controller = t.shadow.Snapshot()
+	}
+	return snap
+}
+
+// deliver hands a snapshot to the session's observer and counts it.
+func (t *ckptTracker) deliver(snap *checkpoint.Snapshot) {
+	t.commitsAcc, t.bytesAcc = 0, 0
+	t.p.checkpoints.Add(1)
+	if t.cfg.OnSnapshot != nil {
+		t.cfg.OnSnapshot(snap)
+	}
+}
+
+// disable records the first serialization failure and stops checkpointing
+// for the session. The session itself keeps running: checkpointing is a
+// robustness layer and must never corrupt a healthy stream; the error is
+// surfaced through CheckpointErr after drain.
+func (t *ckptTracker) disable(err error) {
+	if t.err == nil {
+		t.err = err
+	}
+}
+
+// CheckpointErr reports the error that disabled checkpointing, if any.
+// Meaningful once the pipeline has drained.
+func (p *Pipeline) CheckpointErr() error {
+	if p.ckpt == nil {
+		return nil
+	}
+	return p.ckpt.err
+}
+
+// onlineConfig is the adaptive controller configuration shared by the
+// assembler's controller and the tracker's shadow.
+func (p *Pipeline) onlineConfig() autotune.OnlineConfig {
+	return autotune.OnlineConfig{
+		Initial: p.cfg.ChunkSize,
+		Min:     p.cfg.MinChunk,
+		Max:     p.cfg.MaxChunk,
+	}
+}

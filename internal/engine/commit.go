@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"gostats/internal/ring"
 	"gostats/internal/trace"
 )
 
@@ -40,12 +41,35 @@ func (p *Pipeline) commit() {
 	next := 0
 	var prev committed
 	var prevInputs []Input // committed predecessor's chunk inputs
+	if rs := p.resume; rs != nil {
+		// Resume at the snapshot frontier: the decoded lineage stands in
+		// for the last committed chunk's result. spec stays false — no
+		// recorded verdict can refer to restored states — so the first
+		// boundary is validated by the inline wave, against the exact
+		// states the uninterrupted session would have held.
+		next = rs.next
+		if len(rs.lineage) > 0 {
+			prev.final = rs.lineage[0]
+			prev.origs = rs.lineage
+			if p.fper != nil {
+				prev.origFPs = make([]uint64, len(rs.lineage))
+				for i, s := range rs.lineage {
+					prev.origFPs[i] = p.fper.Fingerprint(s)
+				}
+			}
+		}
+	}
 	for {
 		res, err := p.results.Pop(p.ctx.Done())
 		if err != nil {
 			// ring.ErrClosed: workers are done and the ring is drained;
-			// everything dispatched has been committed in order.
+			// everything dispatched has been committed in order. On a
+			// halted session that clean drain IS the migration point:
+			// capture the frontier one last time.
 			// ring.ErrCanceled: the run was abandoned or failed.
+			if err == ring.ErrClosed && p.ckpt != nil && p.halted.Load() {
+				p.ckpt.finalize(next, prevInputs, &prev)
+			}
 			return
 		}
 		pending[res.job.index] = res
@@ -170,6 +194,12 @@ func (p *Pipeline) applyCommit(r *result, prev *committed) bool {
 	}
 	p.emit(Event{Kind: EvOutputs, Chunk: j, Worker: -1,
 		N: len(outs), Start: t1, Dur: time.Since(t1)})
+	// Checkpoint bookkeeping sits after the outputs are downstream (a
+	// snapshot must never cover outputs the consumer has not been offered)
+	// and before the slab recycles (byte-interval counting reads outs).
+	if p.ckpt != nil {
+		p.ckpt.onCommit(j, r.job.inputs, outs, prev, ok)
+	}
 	// The outputs have been copied downstream; recycle the slab.
 	p.slabs.putOut(outs)
 

@@ -127,6 +127,12 @@ const (
 	// they exist for recovery only, never for injection.
 	SiteAssemble
 	SiteCommit
+	// SiteProc is an out-of-process chunk executor failing as a whole —
+	// the worker process died, hung past the deadline, or returned a
+	// reply that would not parse. The attempt is retried against a fresh
+	// process; after the budget the chunk degrades to the in-process
+	// path.
+	SiteProc
 
 	numSites
 )
@@ -138,6 +144,7 @@ var siteNames = [numSites]string{
 	SiteReexec:      "reexec",
 	SiteAssemble:    "assemble",
 	SiteCommit:      "commit",
+	SiteProc:        "proc",
 }
 
 // String returns the site's name.

@@ -103,6 +103,17 @@ type StreamConfig struct {
 	// Metrics (e.g. a Counters aggregate or a Recorder synthesizing a
 	// trace for critical-path analysis).
 	Sink Sink
+	// Checkpoint enables periodic commit-frontier snapshots (checkpoint.go).
+	Checkpoint CheckpointConfig
+	// Resume, when non-nil, restores this pipeline from a snapshot instead
+	// of starting fresh; the snapshot's session shape overrides the fields
+	// above (checkpoint.go).
+	Resume *ResumeConfig
+	// Runner, when non-nil, executes chunks through an external executor
+	// (e.g. a pool of statsworker processes) instead of the in-process
+	// worker path; executor failures are retried as SiteProc faults and
+	// degrade back to the in-process path (checkpoint.go, worker.go).
+	Runner ChunkRunner
 }
 
 func (c StreamConfig) withDefaults() StreamConfig {
@@ -149,6 +160,12 @@ func (c StreamConfig) Validate() error {
 			return fmt.Errorf("stream: Plan[%d] must be >= 1, got %d", i, n)
 		}
 	}
+	if c.Checkpoint.EveryCommits < 0 || c.Checkpoint.EveryBytes < 0 {
+		return fmt.Errorf("stream: negative Checkpoint intervals")
+	}
+	if (c.Checkpoint.EveryCommits > 0 || c.Checkpoint.EveryBytes > 0) && c.Checkpoint.Codec == nil {
+		return fmt.Errorf("stream: Checkpoint intervals need a Checkpoint.Codec")
+	}
 	return c.Fault.validate("stream")
 }
 
@@ -164,9 +181,11 @@ type StreamStats struct {
 	Reused  int64 // state clones served from retired buffers (StatePool)
 	Threads int64 // goroutine contexts spawned by the protocol
 
-	Faults   int64 // chunk faults isolated (panics, missed deadlines)
+	Faults   int64 // chunk faults isolated (panics, missed deadlines, dead worker processes)
 	Retries  int64 // faulted attempts retried after backoff
-	Degraded int64 // chunks degraded to sequential frontier re-execution
+	Degraded int64 // chunks degraded down the executor ladder (remote→local, speculative→sequential)
+
+	Checkpoints int64 // commit-frontier snapshots emitted
 
 	// Trajectory is the online controller's chunk-size history (initial
 	// size plus one point per resize), present only on adaptive sessions
@@ -250,8 +269,21 @@ type Pipeline struct {
 	stages   sync.WaitGroup // the pipeline's stage goroutines
 	all      sync.WaitGroup // stages + the teardown janitor
 
-	inputs   atomic.Int64
-	outputs  atomic.Int64
+	// Checkpointed-session machinery (checkpoint.go). haltCh/down stop
+	// chunk assembly at the frontier without closing the ingest ring —
+	// closing it would flush a partial chunk and move the boundaries a
+	// resumed session will re-derive. down is closed when either the
+	// pipeline context or haltCh fires; the assembler parks on it.
+	haltCh chan struct{}
+	halted atomic.Bool
+	down   chan struct{}
+	resume *resumeState
+	ckpt   *ckptTracker
+
+	inputs      atomic.Int64
+	outputs     atomic.Int64
+	checkpoints atomic.Int64
+
 	chunks   atomic.Int64
 	commits  atomic.Int64
 	aborts   atomic.Int64
@@ -267,10 +299,26 @@ type Pipeline struct {
 // run: cancel it to abandon the stream (Push fails, stages exit, Outputs
 // closes). All protocol execution happens on NativeExec.
 func NewStream(ctx context.Context, prog Program, cfg StreamConfig) (*Pipeline, error) {
+	if cfg.Resume != nil && cfg.Resume.Snap != nil {
+		// The snapshot's session shape wins wholesale: resuming under
+		// different parameters would move chunk boundaries and break the
+		// byte-identity the resume contract promises.
+		snap := cfg.Resume.Snap
+		cfg.ChunkSize, cfg.Lookback, cfg.ExtraStates = snap.ChunkSize, snap.Lookback, snap.ExtraStates
+		cfg.InnerWidth, cfg.Workers, cfg.Seed = snap.InnerWidth, snap.Workers, snap.Seed
+		cfg.Adapt, cfg.MinChunk, cfg.MaxChunk = snap.Adapt, snap.MinChunk, snap.MaxChunk
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	var rs *resumeState
+	if cfg.Resume != nil {
+		var err error
+		if rs, err = buildResume(prog, cfg); err != nil {
+			return nil, err
+		}
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -281,12 +329,16 @@ func NewStream(ctx context.Context, prog Program, cfg StreamConfig) (*Pipeline, 
 
 	var ctl *autotune.Online
 	if cfg.Adapt {
+		var st *autotune.OnlineState
+		if rs != nil {
+			st = rs.ctl
+		}
 		var err error
-		ctl, err = autotune.NewOnline(autotune.OnlineConfig{
+		ctl, err = autotune.RestoreOnline(autotune.OnlineConfig{
 			Initial: cfg.ChunkSize,
 			Min:     cfg.MinChunk,
 			Max:     cfg.MaxChunk,
-		})
+		}, st)
 		if err != nil {
 			cancel()
 			return nil, err
@@ -328,7 +380,45 @@ func NewStream(ctx context.Context, prog Program, cfg StreamConfig) (*Pipeline, 
 	p.inj, _ = prog.(Injector)
 	p.fper, _ = prog.(Fingerprinter)
 	p.slabs.limit = 2*cfg.Workers + 4
+	p.resume = rs
+	p.haltCh = make(chan struct{})
+	p.down = make(chan struct{})
+	if ctl != nil {
+		// Keep the resizes mirror consistent with a restored controller so
+		// sizeFor's delta detection doesn't re-report historical resizes.
+		n, _, _ := ctl.Resizes()
+		p.resizes.Store(int64(n))
+	}
+	if rs != nil {
+		// Preload the outcome window with the snapshot's pending outcomes:
+		// the restored assembler consumes them at exactly the decision
+		// points the uninterrupted one would have. At most Workers entries
+		// (snapshot-validated), so TryPush on a Workers+2 ring cannot fail.
+		for _, ok := range rs.pending {
+			p.outcomes.TryPush(ok)
+		}
+	}
+	if cfg.Checkpoint.enabled() {
+		t, err := newCkptTracker(p, rs)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		p.ckpt = t
+	}
 	p.emit(Event{Kind: EvSessionStart, Chunk: -1, Worker: -1, N: cfg.ChunkSize})
+
+	// down: the assembler's park signal — closed on context teardown or
+	// Halt, whichever comes first.
+	p.all.Add(1)
+	go func() {
+		defer p.all.Done()
+		select {
+		case <-p.ctx.Done():
+		case <-p.haltCh:
+		}
+		close(p.down)
+	}()
 
 	p.stages.Add(1)
 	go p.assemble()
@@ -404,7 +494,7 @@ func (p *Pipeline) Push(ctx context.Context, in Input) error {
 		return nil
 	}
 	t0 := time.Now()
-	err := p.in.PushWait(ctx.Done(), p.ctx.Done(), in)
+	err := p.in.PushWait(ctx.Done(), p.down, in)
 	switch err {
 	case nil:
 		p.emit(Event{Kind: EvIngestWait, Chunk: -1, Worker: -1, Start: t0, Dur: time.Since(t0)})
@@ -413,9 +503,12 @@ func (p *Pipeline) Push(ctx context.Context, in Input) error {
 		return nil
 	case ring.ErrClosed:
 		return ErrClosed
-	default: // ring.ErrCanceled: one of the two contexts fired
+	default: // ring.ErrCanceled: the caller's context, a halt, or teardown
 		if ctx.Err() != nil {
 			return ctx.Err()
+		}
+		if p.halted.Load() {
+			return ErrClosed
 		}
 		if ferr := p.failErr(); ferr != nil {
 			return ferr
@@ -475,6 +568,8 @@ func (p *Pipeline) StatsSnapshot() StreamStats {
 		Faults:   p.faults.Load(),
 		Retries:  p.retries.Load(),
 		Degraded: p.degraded.Load(),
+
+		Checkpoints: p.checkpoints.Load(),
 	}
 }
 

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -43,6 +45,13 @@ func (p *Pipeline) worker(slotID int) {
 // carries only the fault; the commit frontier degrades the chunk to
 // sequential re-execution from the last committed state.
 func (p *Pipeline) speculate(jb *job, slotID int) *result {
+	if p.cfg.Runner != nil {
+		if res, done := p.speculateRemote(jb, slotID); done {
+			return res
+		}
+		// The external executor exhausted its budget; the chunk degrades
+		// to the in-process path below — identical bytes either way.
+	}
 	j := jb.index
 	for attempt := 0; ; attempt++ {
 		res, fault := p.attemptSpeculate(jb, slotID, attempt)
@@ -60,6 +69,68 @@ func (p *Pipeline) speculate(jb *job, slotID int) *result {
 		p.emit(Event{Kind: EvRetry, Chunk: j, Worker: slotID, N: attempt + 1, Dur: d})
 		if !sleepCtx(p.ctx, d) {
 			return &result{job: jb, fault: fault}
+		}
+	}
+}
+
+// speculateRemote runs the chunk through the configured external executor
+// (an out-of-process worker pool). Executor failures — a dead or wedged
+// worker process, a reply that would not parse — surface as retryable
+// SiteProc faults with the same backoff discipline as in-process panics;
+// a successful attempt re-derives the same RNG substreams in the worker
+// process, so its reply is byte-identical no matter how many dead
+// processes preceded it. done=false means the retry budget is exhausted
+// and the caller should degrade to the in-process path.
+func (p *Pipeline) speculateRemote(jb *job, slotID int) (*result, bool) {
+	j := jb.index
+	for attempt := 0; ; attempt++ {
+		ctx, cancel := p.ctx, context.CancelFunc(func() {})
+		if p.pol.ChunkDeadline > 0 {
+			ctx, cancel = context.WithTimeout(p.ctx, p.pol.ChunkDeadline)
+		}
+		t0 := time.Now()
+		reply, err := p.cfg.Runner.RunChunk(ctx, ChunkRequest{
+			Chunk: j, Attempt: attempt, Window: jb.prevWindow, Inputs: jb.inputs})
+		cancel()
+		if err == nil && reply != nil {
+			res := &result{job: jb, spec: reply.Spec, outs: reply.Outs,
+				final: reply.Final, origs: reply.Origs}
+			if p.fper != nil {
+				if res.spec != nil {
+					res.specFP = p.fper.Fingerprint(res.spec)
+					res.fpOK = true
+				}
+				res.origFPs = make([]uint64, len(res.origs))
+				for i, o := range res.origs {
+					res.origFPs[i] = p.fper.Fingerprint(o)
+				}
+			}
+			p.emit(Event{Kind: EvSpeculated, Chunk: j, Worker: slotID,
+				N: len(jb.inputs), Start: t0, Dur: time.Since(t0)})
+			return res, true
+		}
+		if p.ctx.Err() != nil {
+			// The run is being torn down; report the chunk as faulted so
+			// the frontier never sees half-filled remote state.
+			return &result{job: jb, fault: &ChunkFault{Chunk: j, Site: SiteProc, Attempt: attempt}}, true
+		}
+		fault := &ChunkFault{Chunk: j, Site: SiteProc, Attempt: attempt,
+			Deadline: errors.Is(err, context.DeadlineExceeded), Panic: err}
+		p.faults.Add(1)
+		p.emit(Event{Kind: EvFault, Chunk: j, Worker: slotID, N: attempt, M: int(SiteProc)})
+		if attempt >= p.pol.MaxRetries {
+			// Out of remote attempts: degrade to in-process execution
+			// rather than to the frontier — the chunk is still healthy,
+			// only its executor is gone.
+			p.degraded.Add(1)
+			p.emit(Event{Kind: EvDegraded, Chunk: j, Worker: slotID, N: attempt})
+			return nil, false
+		}
+		d := p.pol.backoff(attempt, p.workerRng(j))
+		p.retries.Add(1)
+		p.emit(Event{Kind: EvRetry, Chunk: j, Worker: slotID, N: attempt + 1, Dur: d})
+		if !sleepCtx(p.ctx, d) {
+			return &result{job: jb, fault: fault}, true
 		}
 	}
 }

@@ -121,6 +121,8 @@ func DefaultConfig() *Config {
 		"gostats/internal/memsim",
 		"gostats/internal/cluster",
 		"gostats/internal/workload",
+		"gostats/internal/checkpoint",
+		"gostats/internal/procexec",
 	}}
 }
 

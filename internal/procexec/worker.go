@@ -1,0 +1,222 @@
+package procexec
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"gostats/internal/bench"
+	"gostats/internal/engine"
+	"gostats/internal/rng"
+	"gostats/internal/trace"
+)
+
+// workerSession is the per-process execution context a hello establishes.
+type workerSession struct {
+	prog  bench.Benchmark
+	codec bench.WireCodec
+	ex    *engine.NativeExec
+	pool  *engine.StatePool
+	root  *rng.Stream
+	cfg   wireRequest // the hello (session shape)
+}
+
+// ServeWorker runs the worker side of the out-of-process chunk protocol
+// over (r, w): a "hello" line binds the process to a session, then each
+// "chunk" line executes the full §III-B chunk protocol and replies with
+// the speculative state, outputs, and original states in wire form.
+//
+// The worker re-derives every RNG substream exactly as the in-process
+// pool worker does — root = New(seed).Derive("stats:"+name), per chunk j
+// myRng = root.DeriveN("worker", j), jitter/body/replica substreams off
+// myRng — so a reply is a pure function of (session, chunk index, window,
+// inputs): byte-identical no matter which process computes it, or how
+// many died trying.
+//
+// It returns when r reaches EOF (the parent closed stdin) and on
+// transport errors; a per-chunk execution failure is reported in-band as
+// an {ok:false} reply instead, keeping the process reusable. Planned
+// fault instructions (die/hang/garble) are honored unconditionally —
+// they exist so chaos tests can schedule real process deaths.
+func ServeWorker(r io.Reader, w io.Writer) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	bw := bufio.NewWriter(w)
+	var sess *workerSession
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF && len(line) == 0 {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("procexec: worker read: %w", err)
+		}
+		var req wireRequest
+		if err := json.Unmarshal(line, &req); err != nil {
+			return fmt.Errorf("procexec: worker: bad request: %w", err)
+		}
+		var reply wireReply
+		switch req.Op {
+		case "hello":
+			sess, err = newWorkerSession(req)
+			if err != nil {
+				reply = wireReply{Err: err.Error()}
+			} else {
+				reply = wireReply{OK: true}
+			}
+		case "chunk":
+			if sess == nil {
+				reply = wireReply{Err: "chunk before hello"}
+				break
+			}
+			if req.Die {
+				// Planned process death: exit without replying. The parent
+				// sees a truncated stream and respawns.
+				os.Exit(3)
+			}
+			if req.Hang {
+				// Planned wedge: never reply (a timer loop, not select{},
+				// so the runtime's deadlock detector stays quiet). The
+				// parent's chunk deadline fires and it kills this process.
+				for {
+					time.Sleep(time.Hour)
+				}
+			}
+			reply = sess.runChunk(req)
+			if req.Garble {
+				// Planned corruption: an unparseable reply line.
+				if _, err := bw.WriteString("!garbage reply!\n"); err != nil {
+					return fmt.Errorf("procexec: worker write: %w", err)
+				}
+				if err := bw.Flush(); err != nil {
+					return fmt.Errorf("procexec: worker flush: %w", err)
+				}
+				continue
+			}
+		default:
+			reply = wireReply{Err: fmt.Sprintf("unknown op %q", req.Op)}
+		}
+		out, err := json.Marshal(reply)
+		if err != nil {
+			return fmt.Errorf("procexec: worker encode: %w", err)
+		}
+		out = append(out, '\n')
+		if _, err := bw.Write(out); err != nil {
+			return fmt.Errorf("procexec: worker write: %w", err)
+		}
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("procexec: worker flush: %w", err)
+		}
+	}
+}
+
+func newWorkerSession(req wireRequest) (*workerSession, error) {
+	prog, err := bench.New(req.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := bench.WireFor(req.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	if req.Lookback <= 0 {
+		return nil, fmt.Errorf("lookback %d out of range", req.Lookback)
+	}
+	return &workerSession{
+		prog:  prog,
+		codec: codec,
+		ex:    engine.NewNativeExec(),
+		pool:  engine.NewStatePool(prog),
+		root:  rng.New(req.Seed).Derive("stats:" + prog.Name()),
+		cfg:   req,
+	}, nil
+}
+
+// runChunk executes one chunk and encodes the reply. Failures (decode
+// errors, protocol panics) become {ok:false} replies.
+func (s *workerSession) runChunk(req wireRequest) (reply wireReply) {
+	defer func() {
+		if r := recover(); r != nil {
+			reply = wireReply{Err: fmt.Sprintf("chunk %d panicked: %v", req.Chunk, r)}
+		}
+	}()
+	window := make([]engine.Input, len(req.Window))
+	for i, raw := range req.Window {
+		in, err := s.codec.DecodeInput(raw)
+		if err != nil {
+			return wireReply{Err: fmt.Sprintf("decode window[%d]: %v", i, err)}
+		}
+		window[i] = in
+	}
+	inputs := make([]engine.Input, len(req.Inputs))
+	for i, raw := range req.Inputs {
+		in, err := s.codec.DecodeInput(raw)
+		if err != nil {
+			return wireReply{Err: fmt.Sprintf("decode input[%d]: %v", i, err)}
+		}
+		inputs[i] = in
+	}
+	if len(inputs) == 0 {
+		return wireReply{Err: "empty chunk"}
+	}
+	if req.Chunk > 0 && len(window) == 0 {
+		return wireReply{Err: fmt.Sprintf("chunk %d has no predecessor window", req.Chunk)}
+	}
+
+	// The chunk protocol, with the in-process worker's exact derivations.
+	j := req.Chunk
+	prog := s.prog
+	myRng := s.root.DeriveN("worker", j)
+	jit := myRng.Derive("jitter")
+	g := engine.NewGang(s.ex, fmt.Sprintf("%s-w%d", prog.Name(), j), s.cfg.Inner, nil)
+	defer g.Close(s.ex)
+
+	var spec, start engine.State
+	if j == 0 {
+		start = prog.Initial(s.root.Derive("init"))
+	} else {
+		start = engine.SpeculativeState(s.ex, prog, s.pool, window, myRng, nil)
+		spec = s.pool.Clone(start)
+	}
+	win := inputs
+	if k := s.cfg.Lookback; k < len(win) {
+		win = win[len(win)-k:]
+	}
+	snapAt := len(inputs) - len(win)
+	outs, snapshot, final := engine.ProcessChunk(s.ex, prog, s.pool, g, inputs,
+		snapAt, start, myRng.Derive("body"), jit, trace.CatChunkWork, nil, nil)
+	origs := engine.OriginalStates(s.ex, prog, s.pool, fmt.Sprintf("%s-r%d", prog.Name(), j),
+		win, snapshot, final, s.cfg.Extra, myRng, nil, nil)
+	s.pool.Release(snapshot)
+
+	reply = wireReply{OK: true,
+		Outs:  make([]json.RawMessage, len(outs)),
+		Origs: make([]json.RawMessage, len(origs)),
+	}
+	if spec != nil {
+		raw, err := s.codec.EncodeState(spec)
+		if err != nil {
+			return wireReply{Err: fmt.Sprintf("encode spec: %v", err)}
+		}
+		reply.Spec = raw
+		s.pool.Release(spec)
+	}
+	for i, o := range outs {
+		raw, err := s.codec.EncodeOutput(o)
+		if err != nil {
+			return wireReply{Err: fmt.Sprintf("encode output[%d]: %v", i, err)}
+		}
+		reply.Outs[i] = raw
+	}
+	for i, o := range origs {
+		raw, err := s.codec.EncodeState(o)
+		if err != nil {
+			return wireReply{Err: fmt.Sprintf("encode orig[%d]: %v", i, err)}
+		}
+		reply.Origs[i] = raw
+		s.pool.Release(o)
+	}
+	return reply
+}

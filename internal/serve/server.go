@@ -18,10 +18,12 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"gostats/internal/bench"
+	"gostats/internal/checkpoint"
 	"gostats/internal/critpath"
 	"gostats/internal/engine"
 	"gostats/internal/stream"
@@ -82,6 +84,12 @@ type Server struct {
 	draining atomic.Bool   // readiness gate flipped by StartDrain
 	shed     atomic.Int64  // sessions rejected at the cap
 	panics   atomic.Int64  // handler panics recovered by the middleware
+
+	// halters holds the pipelines of in-flight migrate=1 sessions;
+	// StartDrain halts each at its commit frontier so the session emits a
+	// final checkpoint and a #migrate marker instead of running to
+	// completion on a process that is going away.
+	halters sync.Map // *stream.Pipeline -> struct{}
 }
 
 // New builds a Server from a base pipeline config (cloned per session)
@@ -149,10 +157,18 @@ func (s *Server) recovered(next http.Handler) http.Handler {
 }
 
 // StartDrain flips the server into draining mode: /readyz turns not-ready
-// so load balancers stop routing here, and new sessions are refused while
-// in-flight ones run to completion (bounded by the caller's grace
-// period).
-func (s *Server) StartDrain() { s.draining.Store(true) }
+// so load balancers stop routing here, and new sessions are refused.
+// In-flight sessions run to completion (bounded by the caller's grace
+// period) — except migrate=1 sessions, which are halted at their commit
+// frontier: each finishes its in-flight chunks, emits a final checkpoint
+// line, and ends with a #migrate marker the gateway resumes from.
+func (s *Server) StartDrain() {
+	s.draining.Store(true)
+	s.halters.Range(func(k, _ any) bool {
+		k.(*stream.Pipeline).Halt()
+		return true
+	})
+}
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -233,6 +249,26 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// Session control lines. A session that opts into checkpointing
+// (ckpt=N or migrate=1) gets #ckpt lines interleaved in its NDJSON
+// output — each carries a base64 snapshot covering exactly the output
+// lines written above it — and, if the server drains it away, a final
+// #migrate marker before the trailer. A resume=1 session instead
+// *starts* with a control line: its first body line must be
+// "#resume <base64>", the snapshot to restore; input lines follow from
+// the snapshot frontier onward. Plain sessions never see control lines.
+const (
+	ckptPrefix   = "#ckpt "
+	resumePrefix = "#resume "
+	migrateLine  = "#migrate"
+)
+
+// haltDrainGrace bounds how long a halted session waits for its client
+// to see #migrate, stop uploading, and close the request body. Long
+// enough for a round trip to a well-behaved client; short enough that a
+// stuck one cannot pin the draining server.
+const haltDrainGrace = time.Second
+
 // Trailer is the final NDJSON line of every session: it tells the
 // client the stream drained (or why it didn't) and summarizes the run.
 type Trailer struct {
@@ -240,6 +276,10 @@ type Trailer struct {
 	Benchmark string       `json:"benchmark"`
 	Stats     stream.Stats `json:"stats"`
 	Error     string       `json:"error,omitempty"`
+	// Migrated reports that the server halted this session at its commit
+	// frontier for migration: the output stream is a valid prefix, the
+	// last #ckpt line resumes it elsewhere, and Done is false.
+	Migrated bool `json:"migrated,omitempty"`
 	// Attribution is the six-category overhead breakdown of the session,
 	// present when the request asked for it with attrib=1.
 	Attribution *Attribution `json:"attribution,omitempty"`
@@ -337,6 +377,75 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Checkpointed-session options (the statsgate relay speaks these):
+	// ckpt=N interleaves a #ckpt control line every N commits, migrate=1
+	// registers the session for drain-halt (and guarantees a final
+	// checkpoint on halt), resume=1 restores the session from a #resume
+	// first body line instead of starting fresh.
+	ckptEvery, err := queryInt(r, "ckpt")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	migrate, err := queryBool(r, "migrate")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resumeSess, err := queryBool(r, "resume")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var wire bench.WireCodec
+	if ckptEvery > 0 || migrate || resumeSess {
+		if wire, err = bench.WireFor(name); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+
+	// The line scanner is shared between the resume prologue (which must
+	// read the #resume line before the pipeline exists) and the pusher.
+	sc := bench.NewLineScanner(r.Body, s.lim.MaxLine)
+	var resumeBase int64 // outputs the restored session already delivered
+	if resumeSess {
+		snap, err := readResumeLine(sc)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		cfg.Resume = &engine.ResumeConfig{Snap: snap, Codec: wire}
+		resumeBase = snap.Inputs
+	}
+
+	// Snapshots arrive synchronously from the commit stage, but a #ckpt
+	// line may only be written after every output it covers: queue them
+	// with their due output count and flush from the output loop.
+	type ckptLine struct {
+		due int64
+		b64 string
+	}
+	var (
+		ckptMu sync.Mutex
+		ckptQ  []ckptLine
+	)
+	if ckptEvery > 0 || migrate {
+		cfg.Checkpoint = engine.CheckpointConfig{
+			Codec:        wire,
+			EveryCommits: ckptEvery,
+			OnSnapshot: func(snap *checkpoint.Snapshot) {
+				b64, err := checkpoint.EncodeString(snap)
+				if err != nil {
+					return // surfaced via CheckpointErr after drain
+				}
+				ckptMu.Lock()
+				ckptQ = append(ckptQ, ckptLine{due: snap.Inputs - resumeBase, b64: b64})
+				ckptMu.Unlock()
+			},
+		}
+	}
+
 	// The session lives inside the request context — a client disconnect
 	// or a forced server close tears the pipeline down — further bounded
 	// by the per-session deadline when one is configured.
@@ -352,6 +461,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	if migrate {
+		// Register for drain-halt, then re-check: a StartDrain that raced
+		// past registration must still halt this session.
+		s.halters.Store(p, struct{}{})
+		defer s.halters.Delete(p)
+		if s.draining.Load() {
+			p.Halt()
+		}
 	}
 	// Whatever path exits this handler, fully unwind the session: cancel,
 	// drain the output channel, and wait for every pipeline goroutine.
@@ -373,11 +491,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 	// Pusher: the single producer. It owns Push and Close, decoding body
 	// lines until EOF or error. Oversized lines stop it with a typed
-	// error instead of buffering without bound.
+	// error instead of buffering without bound. It continues the scanner
+	// the resume prologue may already have read a control line from.
 	pushDone := make(chan error, 1)
 	go func() {
 		defer p.Close()
-		sc := bench.NewLineScanner(r.Body, s.lim.MaxLine)
 		for sc.Scan() {
 			b := sc.Bytes()
 			if len(bytes.TrimSpace(b)) == 0 {
@@ -403,14 +521,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	out := bufio.NewWriter(w)
 	flusher, _ := w.(http.Flusher)
 	started := false // true once a response byte is committed
-	var encErr error
-	for o := range p.Outputs() {
-		b, err := codec.EncodeOutput(o)
-		if err != nil {
-			encErr = err
-			cancel() // abandon the session; drain happens in the defer
-			break
-		}
+	writeLine := func(b []byte) {
 		if !started {
 			// Outputs stream back while the client is still sending
 			// inputs. Without full duplex, this first write would try
@@ -427,6 +538,53 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
+	}
+	// flushCkpt writes every queued #ckpt line whose covered outputs have
+	// all been written — a snapshot may only appear below the last line it
+	// accounts for. Lines are popped under the lock but written outside
+	// it: OnSnapshot runs on the commit path and must never wait on a slow
+	// client.
+	var written int64 // output lines written (control lines excluded)
+	flushCkpt := func() {
+		ckptMu.Lock()
+		var due []ckptLine
+		for len(ckptQ) > 0 && ckptQ[0].due <= written {
+			due = append(due, ckptQ[0])
+			ckptQ = ckptQ[1:]
+		}
+		ckptMu.Unlock()
+		for _, c := range due {
+			writeLine([]byte(ckptPrefix + c.b64))
+		}
+	}
+	var encErr error
+	for o := range p.Outputs() {
+		b, err := codec.EncodeOutput(o)
+		if err != nil {
+			encErr = err
+			cancel() // abandon the session; drain happens in the defer
+			break
+		}
+		writeLine(b)
+		written++
+		flushCkpt()
+	}
+	flushCkpt() // the halt-frontier snapshot lands after the last output
+
+	// A halted session was stopped at its commit frontier for migration:
+	// tell the client now — before waiting on the pusher — so a gateway
+	// parked on this response knows to stop sending inputs and close the
+	// body, which in turn unblocks the pusher. The read deadline is set a
+	// beat into the future, not poisoned to now: the client is likely
+	// still uploading, and an immediate poison closes the connection
+	// under its in-flight bytes, RSTing the #migrate line and trailer out
+	// of its receive buffer. The grace window unblocks a parked pusher
+	// soon while leaving room for the client to see #migrate, stop, and
+	// close the body for a clean EOF (the drain after the trailer below).
+	halted := p.Halted()
+	if halted {
+		writeLine([]byte(migrateLine))
+		_ = rc.SetReadDeadline(time.Now().Add(haltDrainGrace))
 	}
 
 	// The pusher can be blocked reading a body the client holds open; when
@@ -446,6 +604,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		pushErr = context.Cause(ctx)
 	}
 	stats, runErr := p.Wait()
+	if halted {
+		// Push-after-halt and poisoned-read errors are expected fallout of
+		// halting, not session failures.
+		pushErr = nil
+	}
 	var sessionErr error
 	for _, err := range []error{encErr, pushErr, runErr} {
 		if err != nil {
@@ -455,17 +618,19 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// An errored session leaves unread body bytes, with the client
-	// possibly still sending — and net/http's post-handler cleanup reads
-	// them in ways that misbehave here: the pre-response drain can block
-	// the error status against a streaming client, and (with full duplex
-	// on) a drain that reaches EOF after the handler's pending reads were
-	// aborted re-arms a background read nothing cancels, panicking the
-	// next keep-alive read. So finish the body story in-handler: poison
-	// the connection read deadline, then drain whatever is already
-	// buffered. Either the body hits EOF here — where finishRequest still
-	// reaps the read it triggers — or every later read fails fast and
-	// the connection is simply not reused.
-	if sessionErr != nil && pusherExited && rc.SetReadDeadline(time.Now()) == nil {
+	// possibly still sending — and net/http's post-handler cleanup
+	// reads them in ways that misbehave here: the pre-response drain can
+	// block the error status against a streaming client, and (with full
+	// duplex on) a drain that reaches EOF after the handler's pending
+	// reads were aborted re-arms a background read nothing cancels,
+	// panicking the next keep-alive read. So finish the body story
+	// in-handler: poison the connection read deadline, then drain
+	// whatever is already buffered. Either the body hits EOF here — where
+	// finishRequest still reaps the read it triggers — or every later
+	// read fails fast and the connection is simply not reused.
+	// (Halted sessions get the gentler post-trailer drain below instead:
+	// their client is healthy and needs the trailer intact.)
+	if sessionErr != nil && !halted && pusherExited && rc.SetReadDeadline(time.Now()) == nil {
 		_, _ = io.CopyN(io.Discard, r.Body, 64<<10)
 	}
 
@@ -497,6 +662,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if sessionErr != nil {
 		tr.Done, tr.Error = false, sessionErr.Error()
 	}
+	if halted {
+		tr.Done, tr.Migrated = false, true
+		if tr.Error == "" {
+			tr.Error = "session migrated"
+		}
+		if err := p.CheckpointErr(); err != nil {
+			tr.Error = "migration checkpoint failed: " + err.Error()
+		}
+	}
 	if b, err := json.Marshal(tr); err == nil {
 		out.Write(b)
 		out.WriteByte('\n')
@@ -504,6 +678,17 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	out.Flush()
 	if flusher != nil {
 		flusher.Flush()
+	}
+
+	// A halted session's client was mid-upload when the session migrated
+	// away. Returning now would close the connection under its in-flight
+	// bytes and RST the #migrate line and trailer out of its receive
+	// buffer — so read the body to EOF instead: the client sees #migrate,
+	// stops, and closes for a clean EOF. The read deadline armed when
+	// #migrate was written bounds how long a misbehaving client can hold
+	// the handler here.
+	if halted && pusherExited {
+		_, _ = io.Copy(io.Discard, r.Body)
 	}
 }
 
@@ -544,4 +729,56 @@ func applyQuery(cfg *stream.Config, r *http.Request) error {
 		cfg.Adapt = b
 	}
 	return cfg.Validate()
+}
+
+// queryInt parses an optional non-negative integer query parameter;
+// absent means 0.
+func queryInt(r *http.Request, key string) (int, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("query %s=%q: want a non-negative integer", key, v)
+	}
+	return n, nil
+}
+
+// queryBool parses an optional boolean query parameter; absent means
+// false.
+func queryBool(r *http.Request, key string) (bool, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return false, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("query %s=%q: %v", key, v, err)
+	}
+	return b, nil
+}
+
+// readResumeLine consumes a resume=1 session's first body line, which
+// must be a "#resume <base64>" control line, and decodes its snapshot.
+// Input lines follow it from the snapshot frontier onward.
+func readResumeLine(sc *bench.LineScanner) (*checkpoint.Snapshot, error) {
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if !bytes.HasPrefix(line, []byte(resumePrefix)) {
+			return nil, fmt.Errorf("resume=1 session must start with a %q line", resumePrefix)
+		}
+		snap, err := checkpoint.DecodeString(string(line[len(resumePrefix):]))
+		if err != nil {
+			return nil, fmt.Errorf("resume line: %v", err)
+		}
+		return snap, nil
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading resume line: %v", err)
+	}
+	return nil, errors.New("resume=1 session has an empty body")
 }
