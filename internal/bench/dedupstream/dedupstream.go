@@ -117,12 +117,14 @@ type fpEntry struct {
 type dedupState struct {
 	// table maps chunk fingerprint → generation (segment index) it was
 	// last seen. It is the "large state": tens of thousands of entries.
+	//statslint:allow wirecomplete table is exactly the replay of the live log: DecodeState rebuilds it from the encoded log, and encoding it would iterate a map
 	table map[uint64]uint32
 	// log records insertions in order; head indexes the oldest live
 	// entry. Expiry pops from head (lazy deletion — a refreshed
 	// fingerprint's stale log records are skipped when popped), so no
 	// code path depends on map iteration order.
-	log  []fpEntry
+	log []fpEntry
+	//statslint:allow wirecomplete head is 0 by construction after decode: EncodeState trims the log to the live tail [st.log[st.head:]]
 	head int
 	// gen counts segments processed by this lineage.
 	gen uint32
@@ -306,7 +308,7 @@ func (d *DedupStream) Clone(stv core.State) core.State {
 		gen:    st.gen,
 		emaDup: st.emaDup,
 	}
-	for k, v := range st.table { //statslint:allow detpath map copy: insertion into the destination map is order-insensitive
+	for k, v := range st.table {
 		c.table[k] = v
 	}
 	return c
@@ -321,7 +323,7 @@ func (d *DedupStream) CloneInto(dst, src core.State) core.State {
 		return d.Clone(src)
 	}
 	clear(t.table)
-	for k, v := range s.table { //statslint:allow detpath map copy: insertion into the destination map is order-insensitive
+	for k, v := range s.table {
 		t.table[k] = v
 	}
 	t.log = append(t.log[:0], s.log[s.head:]...)

@@ -112,6 +112,7 @@ type Cloud struct {
 	// ID names this state's memory region (stable cache addresses per
 	// live state; a clone gets a new ID, which is how STATS's extra
 	// states show up as locality loss in the cache simulator).
+	//statslint:allow wirecomplete ID is process-local identity: Live mints a fresh one on decode, exactly like Clone, so it is never encoded
 	ID int64
 	// Age counts updates since the cloud was created or reset.
 	Age int
@@ -127,8 +128,11 @@ type Cloud struct {
 	// cache is keyed so a stale entry can never be served. Clone starts
 	// the copy with empty working storage; CloneCloudInto keeps the
 	// destination's — reusing these buffers is the point of recycling.
-	scratchP []float64       // resample's next-generation particle array
-	scratchW []float64       // StepT's log-weight array
+	//statslint:allow wirecomplete scratchP is working storage, fully overwritten before any read; a decoded cloud rebuilds it lazily
+	scratchP []float64 // resample's next-generation particle array
+	//statslint:allow wirecomplete scratchW is working storage, fully overwritten before any read; a decoded cloud rebuilds it lazily
+	scratchW []float64 // StepT's log-weight array
+	//statslint:allow wirecomplete profiles is a derived cache keyed by ID; decode mints a new ID, so the cache must start empty
 	profiles [2]cloudProfile // built access profiles, keyed by base
 }
 

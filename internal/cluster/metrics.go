@@ -80,7 +80,7 @@ func (bm BackendMetrics) LoadGauges() (active, occupancy, maxSessions int) {
 // and names are emitted in sorted order so the output is stable.
 func WriteAggregate(w io.Writer, scrapes map[string]BackendMetrics) {
 	ids := make([]string, 0, len(scrapes))
-	for id := range scrapes { //statslint:allow detpath sorted before use below
+	for id := range scrapes { //statslint:allow detpath backend ids are sorted below before any line is written
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
@@ -88,7 +88,7 @@ func WriteAggregate(w io.Writer, scrapes map[string]BackendMetrics) {
 	totals := make(map[string]int64)
 	for _, id := range ids {
 		names := make([]string, 0, len(scrapes[id].Values))
-		for name := range scrapes[id].Values { //statslint:allow detpath sorted before use below
+		for name := range scrapes[id].Values { //statslint:allow detpath metric names are sorted below before any line is written
 			names = append(names, name)
 		}
 		sort.Strings(names)
@@ -100,7 +100,7 @@ func WriteAggregate(w io.Writer, scrapes map[string]BackendMetrics) {
 	}
 
 	names := make([]string, 0, len(totals))
-	for name := range totals { //statslint:allow detpath sorted before use below
+	for name := range totals { //statslint:allow detpath cluster totals are sorted below before any line is written
 		names = append(names, name)
 	}
 	sort.Strings(names)

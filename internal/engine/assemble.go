@@ -12,9 +12,10 @@ func (p *Pipeline) assemble() {
 	defer p.jobs.Close()
 	// A panic here (e.g. the program's Initial) has no chunk to charge it
 	// to; it fails the session as a whole — structured error, not a crash.
+	//statslint:allow hotalloc session-scoped panic guard: the closure is built once per stage, not per input
 	defer func() {
 		if r := recover(); r != nil {
-			p.fail(&FaultError{Fault: &ChunkFault{
+			p.fail(&FaultError{Fault: &ChunkFault{ //statslint:allow hotalloc panic path: boxes the fault at most once per session
 				Chunk: -1, Site: SiteAssemble, Panic: r, Stack: stack()}})
 		}
 	}()
@@ -60,7 +61,7 @@ func (p *Pipeline) assemble() {
 			if err != nil {
 				return
 			}
-			buf = append(buf, in)
+			buf = append(buf, in) //statslint:allow hotalloc buf is a takeIn(size) slab with cap >= size, and len(buf) < size here, so append never grows it
 		}
 		if len(buf) < size {
 			continue

@@ -430,11 +430,11 @@ func (rt *run) speculateOnce(ex Exec, g *Gang, j, attempt int, start State, myRn
 			// Publish a copy of the speculative state so the predecessor
 			// can check it while this worker speculatively computes the
 			// chunk.
-			t0 = rt.now()
+			t1 := rt.now()
 			spec := rt.pool.Clone(s)
 			rt.states.Add(1)
 			ex.Copy(p.StateBytes(), ex.Loc(), p.Name()+".spec")
-			rt.emit(Event{Kind: EvSpecPublished, Chunk: j, Worker: j, Start: t0, Dur: rt.since(t0)})
+			rt.emit(Event{Kind: EvSpecPublished, Chunk: j, Worker: j, Start: t1, Dur: rt.since(t1)})
 			sl := rt.slots[j]
 			sl.mu.Lock(ex)
 			sl.spec = spec

@@ -30,14 +30,15 @@ func (p *Pipeline) commit() {
 	defer p.stages.Done()
 	defer p.emit(Event{Kind: EvSessionEnd, Chunk: -1, Worker: -1})
 	defer close(p.out)
+	//statslint:allow hotalloc session-scoped panic guard: the closure is built once per stage, not per input
 	defer func() {
 		if r := recover(); r != nil {
-			p.fail(&FaultError{Fault: &ChunkFault{
+			p.fail(&FaultError{Fault: &ChunkFault{ //statslint:allow hotalloc panic path: boxes the fault at most once per session
 				Chunk: -1, Site: SiteCommit, Panic: r, Stack: stack()}})
 		}
 	}()
 
-	pending := map[int]*result{}
+	pending := map[int]*result{} //statslint:allow hotalloc session-scoped reorder buffer, allocated once per stage
 	next := 0
 	var prev committed
 	var prevInputs []Input // committed predecessor's chunk inputs
@@ -153,7 +154,7 @@ func (p *Pipeline) applyCommit(r *result, prev *committed) bool {
 		var fault *ChunkFault
 		outs, final, origs, fault = p.reexecProtected(r, prev.final)
 		if fault != nil {
-			p.fail(&FaultError{Fault: fault})
+			p.fail(&FaultError{Fault: fault}) //statslint:allow hotalloc fault path: boxes the terminal fault at most once per session
 			return false
 		}
 		// The recovered lineage is not the one any recorded verdict was
@@ -225,6 +226,7 @@ func (p *Pipeline) reexecProtected(r *result, trueFinal State) ([]Output, State,
 		var final State
 		var origs []State
 		site := SiteReexec
+		//statslint:allow hotalloc recovery path: reexec runs only on mispeculation or fault, off the steady state
 		fault := runProtected(j, attempt, &site, func() {
 			outs, final, origs = p.reexecOnce(r, trueFinal, attempt)
 		})
@@ -258,7 +260,7 @@ func (p *Pipeline) reexecOnce(r *result, trueFinal State, attempt int) ([]Output
 	j := r.job.index
 	myRng := p.workerRng(j)
 	jit := myRng.Derive("jitter")
-	g := NewGang(p.ex, fmt.Sprintf("%s-x%d", prog.Name(), j), p.cfg.InnerWidth, p.countThread)
+	g := NewGang(p.ex, fmt.Sprintf("%s-x%d", prog.Name(), j), p.cfg.InnerWidth, p.countThread) //statslint:allow hotalloc recovery path: gang naming runs only on reexec, off the steady state
 	defer g.Close(p.ex)
 
 	injectAt(p.inj, SiteReexec, j, attempt, nil)
@@ -283,7 +285,7 @@ func (p *Pipeline) reexecOnce(r *result, trueFinal State, attempt int) ([]Output
 		p.emit(Event{Kind: EvSnapshot, Chunk: j, Worker: -1})
 	}
 	tOrig := time.Now()
-	origs := OriginalStates(p.ex, prog, p.pool, fmt.Sprintf("%s-r%d", prog.Name(), j),
+	origs := OriginalStates(p.ex, prog, p.pool, fmt.Sprintf("%s-r%d", prog.Name(), j), //statslint:allow hotalloc recovery path: state naming runs only on reexec, off the steady state
 		win, snapshot, final, p.cfg.ExtraStates, myRng.Derive("reorig"), p.countThread, p.countState)
 	p.emit(Event{Kind: EvOrigStates, Chunk: j, Worker: -1,
 		N: len(origs) - 1, M: len(win), Start: tOrig, Dur: time.Since(tOrig)})

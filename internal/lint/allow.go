@@ -31,6 +31,7 @@ type allowDirective struct {
 	reason    string
 	malformed bool // no reason given
 	pos       token.Pos
+	used      bool // suppressed at least one diagnostic this run
 }
 
 // parseAllow parses one comment, returning nil when it is not a
@@ -129,12 +130,63 @@ func buildAllowIndex(fset *token.FileSet, pkgs []*Package, known map[string]bool
 	return idx, bad
 }
 
-// suppressed reports whether d is waived by a directive in idx.
+// suppressed reports whether d is waived by a directive in idx, marking
+// the waiving directive used (the staleness report in Run is the set of
+// directives never marked).
 func (idx allowIndex) suppressed(d Diagnostic) bool {
 	for _, dir := range idx[d.File][d.Line] {
 		if dir.analyzers == nil || dir.analyzers[d.Analyzer] {
+			dir.used = true
 			return true
 		}
 	}
 	return false
+}
+
+// staleDirectives returns a diagnostic for every directive that
+// suppressed nothing, provided the analyzers it scopes actually ran
+// (ran is the name set of this run's analyzers): an unscoped directive
+// is only assessable when the full registered suite ran, a scoped one
+// when all of its named analyzers did. Anything less and "unused" could
+// just mean "not checked this run".
+func (idx allowIndex) staleDirectives(fset *token.FileSet, ran map[string]bool) []Diagnostic {
+	full := true
+	for _, a := range Analyzers() {
+		if !ran[a.Name] {
+			full = false
+			break
+		}
+	}
+	seen := map[*allowDirective]bool{}
+	var out []Diagnostic
+	for _, lines := range idx {
+		for _, dirs := range lines {
+			for _, dir := range dirs {
+				if seen[dir] || dir.used {
+					continue
+				}
+				seen[dir] = true
+				assessable := full
+				if dir.analyzers != nil {
+					assessable = true
+					for name := range dir.analyzers {
+						if !ran[name] {
+							assessable = false
+							break
+						}
+					}
+				}
+				if !assessable {
+					continue
+				}
+				p := fset.Position(dir.pos)
+				out = append(out, Diagnostic{
+					Analyzer: "statslint",
+					File:     p.Filename, Line: p.Line, Col: p.Column,
+					Message: "stale //statslint:allow directive: it no longer suppresses any diagnostic; remove it (reason was: " + dir.reason + ")",
+				})
+			}
+		}
+	}
+	return out
 }

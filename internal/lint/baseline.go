@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// The baseline layer lets statslint turn on a new analyzer (or tighten
+// an old one) without blocking CI on pre-existing findings: a baseline
+// file records the accepted debt, `-baseline` subtracts it, and only
+// findings NOT in the file fail the run. Matching is a counted multiset
+// on (analyzer, root-relative file, message) — line and column are
+// deliberately excluded so unrelated edits that shift a finding up or
+// down the file do not churn the baseline, while fixing one of two
+// identical findings in a file still surfaces the other as expected
+// (the count drops, not the key).
+
+// baselineEntry is one accepted finding class in the baseline file.
+type baselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// baselineKey is the multiset key.
+func baselineKey(analyzer, relFile, message string) string {
+	return analyzer + "\x00" + relFile + "\x00" + message
+}
+
+// relPath makes file root-relative with forward slashes, falling back
+// to the input when it is not under root.
+func relPath(root, file string) string {
+	if root == "" {
+		return filepath.ToSlash(file)
+	}
+	rel, err := filepath.Rel(root, file)
+	if err != nil {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// WriteBaseline records diags as the accepted baseline, relativized
+// against root, in a stable order so the file diffs cleanly.
+func WriteBaseline(w io.Writer, root string, diags []Diagnostic) error {
+	counts := map[string]*baselineEntry{}
+	for _, d := range diags {
+		key := baselineKey(d.Analyzer, relPath(root, d.File), d.Message)
+		if e := counts[key]; e != nil {
+			e.Count++
+			continue
+		}
+		counts[key] = &baselineEntry{Analyzer: d.Analyzer, File: relPath(root, d.File), Message: d.Message, Count: 1}
+	}
+	entries := make([]*baselineEntry, 0, len(counts))
+	for _, e := range counts {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(entries)
+}
+
+// ReadBaseline parses a baseline file into the counted multiset.
+func ReadBaseline(r io.Reader) (map[string]int, error) {
+	var entries []baselineEntry
+	if err := json.NewDecoder(r).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("parsing baseline: %v", err)
+	}
+	base := map[string]int{}
+	for _, e := range entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		base[baselineKey(e.Analyzer, e.File, e.Message)] += n
+	}
+	return base, nil
+}
+
+// FilterBaseline subtracts baselined findings from diags, returning the
+// fresh (non-baselined) findings and how many were absorbed. base is
+// consumed count-wise: two identical accepted findings absorb at most
+// two occurrences.
+func FilterBaseline(base map[string]int, root string, diags []Diagnostic) (fresh []Diagnostic, absorbed int) {
+	remaining := make(map[string]int, len(base))
+	for k, v := range base {
+		remaining[k] = v
+	}
+	for _, d := range diags {
+		key := baselineKey(d.Analyzer, relPath(root, d.File), d.Message)
+		if remaining[key] > 0 {
+			remaining[key]--
+			absorbed++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, absorbed
+}

@@ -1,0 +1,368 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is statslint's interprocedural layer: a package-local call
+// graph with per-function summaries, computed once per package and
+// cached, so detpath and statecontract can follow flows across function
+// boundaries instead of stopping at every call.
+//
+// The summaries are deliberately coarse — a handful of booleans and a
+// parameter-alias set per function — because the analyzers only need to
+// answer three questions about a callee:
+//
+//  1. does calling it hand me a wall-clock-derived value (returnsClock,
+//     elapsed)? Then the *call site* must satisfy detpath's
+//     instrumentation-only flow discipline, even when the helper's own
+//     clock read carries an allow (the allow waives the read, not every
+//     downstream use of the value);
+//  2. does its return value alias one of my arguments (aliasReturns)?
+//     Then a Clone body routing a slice field through it still aliases
+//     the buffers, and statecontract must flag the copy;
+//  3. which functions does it (transitively) call (callees)? wirecomplete
+//     walks that closure to compute codec field coverage.
+//
+// Scope and soundness: the graph is package-local and name-resolved
+// through go/types (so shadowing and method sets are exact), but calls
+// through interfaces, function values, and cross-package helpers are
+// invisible — a helper moved to another package falls back to the
+// intra-procedural behavior. Propagation runs to a fixpoint, so chains
+// of helpers (a calls b calls time.Now) summarize correctly; recursion
+// terminates because facts only ever flip from false to true.
+
+// funcSummary is the interprocedural fact set for one declared function.
+type funcSummary struct {
+	// readsClock: the function (transitively) performs a value-producing
+	// wall-clock read (one of detpath's timeFuncs).
+	readsClock bool
+	// returnsClock: the function has a time.Time result and transitively
+	// reads the clock — calling it is equivalent to calling time.Now()
+	// for flow purposes. Over-approximate: a clock-reading function that
+	// returns an unrelated time.Time parameter is still summarized as
+	// clock-returning (documented soundness limit; annotate the caller).
+	returnsClock bool
+	// elapsed: a Since-shaped helper — takes a time.Time parameter,
+	// returns a time.Duration, and transitively reads the clock. Its
+	// call sites get the same elapsed-into-instrumentation discipline as
+	// time.Since.
+	elapsed bool
+	// aliasReturns holds indices of (pointer-free positional) parameters
+	// whose slice- or map-typed memory the return value may alias:
+	// `return p`, `return p[lo:hi]`, or returning through another local
+	// function that aliases. append/copy results are treated as fresh
+	// (documented limit: append can alias its argument when capacity
+	// suffices).
+	aliasReturns map[int]bool
+	// callees are the package-local functions this body calls directly.
+	callees map[*types.Func]bool
+}
+
+// summarySet is the cached per-package call graph and summaries.
+type summarySet struct {
+	// decls maps every declared function and method object to its decl.
+	decls map[*types.Func]*ast.FuncDecl
+	sums  map[*types.Func]*funcSummary
+}
+
+// summaries computes (or returns the cached) summary set for the pass's
+// package.
+func (p *Pass) summaries() *summarySet {
+	if p.Pkg.summaries != nil {
+		return p.Pkg.summaries
+	}
+	s := buildSummaries(p)
+	p.Pkg.summaries = s
+	return s
+}
+
+// localCallee resolves a call expression to a function or method
+// declared in this package, or nil (builtin, cross-package, interface,
+// or function-value call).
+func (s *summarySet) localCallee(p *Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = p.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		obj = p.ObjectOf(fun.Sel)
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	if _, declared := s.decls[fn]; !declared {
+		return nil
+	}
+	return fn
+}
+
+// summary returns fn's summary (never nil for declared functions).
+func (s *summarySet) summary(fn *types.Func) *funcSummary {
+	return s.sums[fn]
+}
+
+func buildSummaries(p *Pass) *summarySet {
+	s := &summarySet{
+		decls: map[*types.Func]*ast.FuncDecl{},
+		sums:  map[*types.Func]*funcSummary{},
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				s.decls[fn] = fd
+				s.sums[fn] = &funcSummary{
+					aliasReturns: map[int]bool{},
+					callees:      map[*types.Func]bool{},
+				}
+			}
+		}
+	}
+
+	// Direct facts: clock reads, call edges, and direct param aliasing.
+	for fn, fd := range s.decls {
+		sum := s.sums[fn]
+		params := paramIndex(p, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok &&
+				timeFuncs[sel.Sel.Name] && pkgFunc(p, call, "time", sel.Sel.Name) {
+				sum.readsClock = true
+			}
+			if callee := s.localCallee(p, call); callee != nil {
+				sum.callees[callee] = true
+			}
+			return true
+		})
+		for _, ret := range returnStmts(fd) {
+			for _, res := range ret.Results {
+				recordAliasReturn(p, s, sum, params, res)
+			}
+		}
+	}
+
+	// Fixpoint: propagate clock taint and aliasing through local calls.
+	// Facts only flip false→true, so this terminates.
+	for changed := true; changed; {
+		changed = false
+		for fn := range s.decls {
+			sum := s.sums[fn]
+			for callee := range sum.callees {
+				if s.sums[callee].readsClock && !sum.readsClock {
+					sum.readsClock = true
+					changed = true
+				}
+			}
+			if c := propagateAliasThroughCalls(p, s, fn); c {
+				changed = true
+			}
+		}
+	}
+
+	// Shape facts derived after taint settles.
+	for fn := range s.decls {
+		sum := s.sums[fn]
+		sig := fn.Type().(*types.Signature)
+		if sum.readsClock {
+			if resultHasType(sig, isTimeTime) {
+				sum.returnsClock = true
+			}
+			if paramHasType(sig, isTimeTime) && resultHasType(sig, isTimeDuration) {
+				sum.elapsed = true
+			}
+		}
+	}
+	return s
+}
+
+// paramIndex maps each named positional parameter object to its index.
+func paramIndex(p *Pass, fd *ast.FuncDecl) map[types.Object]int {
+	idx := map[types.Object]int{}
+	i := 0
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := p.Pkg.Info.Defs[name]; obj != nil {
+				idx[obj] = i
+			}
+			i++
+		}
+	}
+	return idx
+}
+
+// returnStmts collects the return statements belonging to fd itself,
+// skipping those inside nested function literals.
+func returnStmts(fd *ast.FuncDecl) []*ast.ReturnStmt {
+	var out []*ast.ReturnStmt
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			out = append(out, n)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+	return out
+}
+
+// recordAliasReturn marks the parameters that the returned expression
+// may alias: the parameter itself or a reslice of it, when the value is
+// slice- or map-typed.
+func recordAliasReturn(p *Pass, s *summarySet, sum *funcSummary, params map[types.Object]int, res ast.Expr) {
+	if !isSliceOrMap(p.TypeOf(res)) {
+		return
+	}
+	switch unparen(res).(type) {
+	case *ast.Ident, *ast.SliceExpr:
+		if root := rootIdent(res); root != nil {
+			if i, ok := params[p.ObjectOf(root)]; ok {
+				sum.aliasReturns[i] = true
+			}
+		}
+		// `return g(x)` where g aliases its parameter is handled in the
+		// fixpoint (propagateAliasThroughCalls), since g's summary may
+		// not be final yet on this pass.
+	}
+}
+
+// propagateAliasThroughCalls handles `return g(args...)` where g's
+// summary says the result aliases a parameter and that argument is one
+// of fn's own parameters. Returns whether anything changed.
+func propagateAliasThroughCalls(p *Pass, s *summarySet, fn *types.Func) bool {
+	fd := s.decls[fn]
+	sum := s.sums[fn]
+	params := paramIndex(p, fd)
+	changed := false
+	for _, ret := range returnStmts(fd) {
+		for _, res := range ret.Results {
+			call, ok := unparen(res).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			callee := s.localCallee(p, call)
+			if callee == nil {
+				continue
+			}
+			for j := range s.sums[callee].aliasReturns {
+				if j >= len(call.Args) {
+					continue
+				}
+				root := rootIdent(call.Args[j])
+				if root == nil {
+					continue
+				}
+				if i, ok := params[p.ObjectOf(root)]; ok && !sum.aliasReturns[i] {
+					sum.aliasReturns[i] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// callAliasesArg reports whether call's result may alias the memory of
+// its argument at index i, per the callee's summary. Used by
+// statecontract at Clone copy sites.
+func (s *summarySet) callAliasesArg(p *Pass, call *ast.CallExpr) (int, bool) {
+	callee := s.localCallee(p, call)
+	if callee == nil {
+		return 0, false
+	}
+	for j := range s.sums[callee].aliasReturns {
+		if j < len(call.Args) {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+// reachableDecls walks the package-local call graph from the given
+// roots, returning every function declaration reachable through direct
+// calls (the roots included). wirecomplete uses this as the "encode
+// path" / "decode path" closure.
+func (s *summarySet) reachableDecls(roots []*types.Func) []*ast.FuncDecl {
+	seen := map[*types.Func]bool{}
+	var order []*ast.FuncDecl
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if fn == nil || seen[fn] {
+			return
+		}
+		seen[fn] = true
+		fd := s.decls[fn]
+		if fd == nil {
+			return
+		}
+		order = append(order, fd)
+		for callee := range s.sums[fn].callees {
+			visit(callee)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return order
+}
+
+// isTimeTime reports whether t is time.Time.
+func isTimeTime(t types.Type) bool { return isNamedFrom(t, "time", "Time") }
+
+// isTimeDuration reports whether t is time.Duration.
+func isTimeDuration(t types.Type) bool { return isNamedFrom(t, "time", "Duration") }
+
+// isNamedFrom reports whether t (behind pointers) is the named type
+// pkgPath.name.
+func isNamedFrom(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// resultHasType reports whether any result of sig satisfies pred.
+func resultHasType(sig *types.Signature, pred func(types.Type) bool) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if pred(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// paramHasType reports whether any parameter of sig satisfies pred.
+func paramHasType(sig *types.Signature, pred func(types.Type) bool) bool {
+	par := sig.Params()
+	for i := 0; i < par.Len(); i++ {
+		if pred(par.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -30,10 +30,22 @@ import (
 //     flip (cancellation-only cases like <-ctx.Done() are exempt: they
 //     can only abort a session, never reorder its outputs).
 //
+// Interprocedural extension (callgraph.go): a package-local helper
+// whose summary says it returns a wall-clock-derived value (returnsClock
+// — e.g. `func (rt *run) now() time.Time { return time.Now() }`) or is
+// a Since-shaped elapsed helper (elapsed) is treated exactly like
+// time.Now / time.Since at its call sites. An allow inside the helper
+// waives the helper's own read, not the caller's use of the value, so
+// `t0 := rt.now(); if rt.since(t0) > budget` is flagged at the caller
+// even when the helper body is annotated.
+//
 // Soundness: detpath is package- and syntax-scoped. It does not track
 // whether a flagged value actually flows into outputs — inside a
 // critical package every such source is guilty until annotated with
-// //statslint:allow <reason>.
+// //statslint:allow <reason>. The helper summaries stop at package
+// boundaries and at calls through interfaces or function values; a
+// clock-returning helper reached that way is invisible (see DESIGN.md,
+// "Static enforcement").
 var Detpath = &Analyzer{
 	Name: "detpath",
 	Doc:  "flags nondeterminism sources (map iteration order, wall clock, global rand, racy selects) in determinism-critical packages",
@@ -52,6 +64,7 @@ func runDetpath(p *Pass) error {
 	if !p.Config.IsCritical(p.Pkg.Path) {
 		return nil
 	}
+	sums := p.summaries()
 	for _, f := range p.Pkg.Files {
 		for _, imp := range f.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)
@@ -72,7 +85,7 @@ func runDetpath(p *Pass) error {
 				if n.Body == nil {
 					return true
 				}
-				checkTimeCalls(p, n)
+				checkTimeCalls(p, sums, n)
 				if nameContainsAny(funcName(n), "commit", "validate", "decide", "frontier") {
 					checkMultiReadySelects(p, n.Body)
 				}
@@ -83,14 +96,16 @@ func runDetpath(p *Pass) error {
 	return nil
 }
 
-// checkTimeCalls flags value-producing wall-clock calls in fn, with one
-// principled exemption: a reading that flows only into protocol
-// *instrumentation* — an engine Event literal's Start/Dur fields, or a
-// Since/Sub elapsed-time computation that itself lands in an Event
-// literal — never reaches a protocol decision or output, so
+// checkTimeCalls flags value-producing wall-clock calls in fn — direct
+// time.X calls and calls to package-local helpers whose summary says
+// they return a clock-derived value — with one principled exemption: a
+// reading that flows only into protocol *instrumentation* — an engine
+// Event literal's Start/Dur fields, or a Since/Sub elapsed-time
+// computation that itself lands in an Event literal — never reaches a
+// protocol decision or output, so
 // `t0 := time.Now(); ...; emit(Event{Start: t0, Dur: time.Since(t0)})`
 // is clean while `if time.Since(t0) > budget` is flagged.
-func checkTimeCalls(p *Pass, fn *ast.FuncDecl) {
+func checkTimeCalls(p *Pass, sums *summarySet, fn *ast.FuncDecl) {
 	eventLits := eventLiteralRanges(p, fn)
 	inEventLit := func(pos token.Pos) bool {
 		for _, r := range eventLits {
@@ -105,14 +120,27 @@ func checkTimeCalls(p *Pass, fn *ast.FuncDecl) {
 		if !ok {
 			return true
 		}
-		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
-		if !ok || !timeFuncs[sel.Sel.Name] || !pkgFunc(p, call, "time", sel.Sel.Name) {
+		direct := ""
+		helper := ""
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok &&
+			timeFuncs[sel.Sel.Name] && pkgFunc(p, call, "time", sel.Sel.Name) {
+			direct = sel.Sel.Name
+		} else if callee := sums.localCallee(p, call); callee != nil {
+			if sum := sums.summary(callee); sum.returnsClock || sum.elapsed {
+				helper = callee.Name()
+			}
+		}
+		if direct == "" && helper == "" {
 			return true
 		}
-		if inEventLit(call.Pos()) || timeFlowsOnlyToInstrumentation(p, fn, call, inEventLit) {
+		if inEventLit(call.Pos()) || timeFlowsOnlyToInstrumentation(p, sums, fn, call, inEventLit) {
 			return true
 		}
-		p.Reportf(call.Pos(), "wall-clock read time.%s on a determinism-critical path; protocol decisions and outputs must be a pure function of (inputs, seed)", sel.Sel.Name)
+		if direct != "" {
+			p.Reportf(call.Pos(), "wall-clock read time.%s on a determinism-critical path; protocol decisions and outputs must be a pure function of (inputs, seed)", direct)
+		} else {
+			p.Reportf(call.Pos(), "call to %s returns a wall-clock-derived value on a determinism-critical path; the result must only feed instrumentation (an allow inside the helper does not cover this use)", helper)
+		}
 		return true
 	})
 }
@@ -136,11 +164,26 @@ func eventLiteralRanges(p *Pass, fn *ast.FuncDecl) [][2]token.Pos {
 	return out
 }
 
+// isElapsedCall reports whether c computes an elapsed duration: a
+// Since/since/Sub call by name, or a call to a package-local helper
+// whose summary is elapsed (Since-shaped, callgraph.go).
+func isElapsedCall(p *Pass, sums *summarySet, c *ast.CallExpr) bool {
+	name := strings.ToLower(calleeName(c))
+	if name == "since" || name == "sub" {
+		return true
+	}
+	if callee := sums.localCallee(p, c); callee != nil && sums.summary(callee).elapsed {
+		return true
+	}
+	return false
+}
+
 // timeFlowsOnlyToInstrumentation reports whether the time call is the
 // sole initializer of a local variable all of whose uses are inside
 // Event literals or arguments to an elapsed-time helper (Since, since,
-// Sub) — the instrumentation-only flow shape.
-func timeFlowsOnlyToInstrumentation(p *Pass, fn *ast.FuncDecl, call *ast.CallExpr, inEventLit func(token.Pos) bool) bool {
+// Sub, or a summary-identified local equivalent) — the
+// instrumentation-only flow shape.
+func timeFlowsOnlyToInstrumentation(p *Pass, sums *summarySet, fn *ast.FuncDecl, call *ast.CallExpr, inEventLit func(token.Pos) bool) bool {
 	// The call must be the single RHS of `x := call` / `x = call`.
 	var obj types.Object
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -159,11 +202,7 @@ func timeFlowsOnlyToInstrumentation(p *Pass, fn *ast.FuncDecl, call *ast.CallExp
 	clean := true
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		c, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		name := strings.ToLower(calleeName(c))
-		if name != "since" && name != "sub" {
+		if !ok || !isElapsedCall(p, sums, c) {
 			return true
 		}
 		for _, arg := range c.Args {
@@ -187,7 +226,7 @@ func timeFlowsOnlyToInstrumentation(p *Pass, fn *ast.FuncDecl, call *ast.CallExp
 		if id.Pos() == definingPos(fn, obj) {
 			return true
 		}
-		if inEventLit(id.Pos()) || isSinceArg(p, fn, id) {
+		if inEventLit(id.Pos()) || isSinceArg(p, sums, fn, id) {
 			return true
 		}
 		clean = false
@@ -232,17 +271,13 @@ func definingPos(fn *ast.FuncDecl, obj types.Object) token.Pos {
 	return obj.Pos()
 }
 
-// isSinceArg reports whether id is an argument to a Since/since/Sub
-// call.
-func isSinceArg(p *Pass, fn *ast.FuncDecl, id *ast.Ident) bool {
+// isSinceArg reports whether id is an argument to an elapsed-time call
+// (Since/since/Sub by name, or a summary-identified local helper).
+func isSinceArg(p *Pass, sums *summarySet, fn *ast.FuncDecl, id *ast.Ident) bool {
 	found := false
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		c, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		name := strings.ToLower(calleeName(c))
-		if name != "since" && name != "sub" {
+		if !ok || !isElapsedCall(p, sums, c) {
 			return true
 		}
 		for _, arg := range c.Args {

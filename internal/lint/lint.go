@@ -98,6 +98,19 @@ type Config struct {
 	// detpath only fires inside these. An empty prefix marks every
 	// package critical (used by tests).
 	CriticalPrefixes []string
+
+	// HotPathPackages lists import-path prefixes where every function is
+	// on the allocation-critical hot path; hotalloc flags allocation
+	// sites in all of them. An empty prefix marks every package hot
+	// (used by tests).
+	HotPathPackages []string
+
+	// HotPathFiles maps an import path to base filenames within it whose
+	// functions are hot — for packages where only some files carry the
+	// per-input pipeline (engine's frontier/commit/assemble vs. its
+	// setup and recovery code). Individual functions elsewhere opt in
+	// with a //statslint:hotpath doc comment.
+	HotPathFiles map[string][]string
 }
 
 // DefaultConfig marks the protocol engine, its façades, the benchmark
@@ -107,23 +120,31 @@ type Config struct {
 // experiments, internal/critpath, internal/profiler, internal/trace,
 // internal/stat, internal/quality — analysis-side code whose outputs are
 // derived artifacts, not committed protocol outputs.
+// The hot-path seeds mirror where PR 7's allocation wins live: every
+// ring operation runs once per pipeline hop, and the engine's frontier/
+// commit/assemble files run once per input on the committed path.
 func DefaultConfig() *Config {
-	return &Config{CriticalPrefixes: []string{
-		"gostats/internal/engine",
-		"gostats/internal/ring",
-		"gostats/internal/core",
-		"gostats/internal/stream",
-		"gostats/internal/bench",
-		"gostats/internal/autotune",
-		"gostats/internal/rng",
-		"gostats/internal/faultinject",
-		"gostats/internal/machine",
-		"gostats/internal/memsim",
-		"gostats/internal/cluster",
-		"gostats/internal/workload",
-		"gostats/internal/checkpoint",
-		"gostats/internal/procexec",
-	}}
+	return &Config{
+		HotPathPackages: []string{"gostats/internal/ring"},
+		HotPathFiles: map[string][]string{
+			"gostats/internal/engine": {"frontier.go", "commit.go", "assemble.go"},
+		},
+		CriticalPrefixes: []string{
+			"gostats/internal/engine",
+			"gostats/internal/ring",
+			"gostats/internal/core",
+			"gostats/internal/stream",
+			"gostats/internal/bench",
+			"gostats/internal/autotune",
+			"gostats/internal/rng",
+			"gostats/internal/faultinject",
+			"gostats/internal/machine",
+			"gostats/internal/memsim",
+			"gostats/internal/cluster",
+			"gostats/internal/workload",
+			"gostats/internal/checkpoint",
+			"gostats/internal/procexec",
+		}}
 }
 
 // IsCritical reports whether pkgPath is determinism-critical under c.
@@ -138,5 +159,5 @@ func (c *Config) IsCritical(pkgPath string) bool {
 
 // Analyzers returns the full statslint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Detpath, StateContract, SlabLife, EventOrder}
+	return []*Analyzer{Detpath, StateContract, SlabLife, EventOrder, AtomicProt, HotAlloc, WireComplete}
 }

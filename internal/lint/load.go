@@ -40,6 +40,11 @@ type Package struct {
 	// (with possibly incomplete Info) so statslint degrades rather than
 	// hides behind a broken build.
 	TypeErrors []error
+
+	// summaries caches the interprocedural call graph and per-function
+	// summaries (callgraph.go), built lazily by the first analyzer that
+	// needs them and shared by the rest of the suite.
+	summaries *summarySet
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.

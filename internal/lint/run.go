@@ -6,11 +6,34 @@ import (
 	"sort"
 )
 
+// A Result carries one suite run's findings plus the suppression audit.
+type Result struct {
+	// Diagnostics are the surviving findings (malformed allow directives
+	// included), sorted by file, line, column, and analyzer.
+	Diagnostics []Diagnostic
+	// Stale lists //statslint:allow directives that suppressed nothing,
+	// restricted to directives whose scoped analyzers actually ran (an
+	// unscoped directive is only assessed when the full suite ran). A
+	// stale allow is a contract nobody holds anymore: either the code it
+	// excused was fixed — delete it — or the analyzer stopped seeing the
+	// site and the waiver silently widened.
+	Stale []Diagnostic
+}
+
 // Run executes every analyzer over every package, applies the
 // //statslint:allow suppression index, and returns the surviving
 // diagnostics sorted by file, line, column, and analyzer. cfg nil means
 // DefaultConfig.
 func Run(cfg *Config, fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	res, err := RunAll(cfg, fset, pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diagnostics, nil
+}
+
+// RunAll is Run plus the suppression-staleness audit.
+func RunAll(cfg *Config, fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
 	if cfg == nil {
 		cfg = DefaultConfig()
 	}
@@ -35,6 +58,14 @@ func Run(cfg *Config, fset *token.FileSet, pkgs []*Package, analyzers []*Analyze
 			}
 		}
 	}
+	sortDiagnostics(diags)
+	stale := idx.staleDirectives(fset, known)
+	sortDiagnostics(stale)
+	return &Result{Diagnostics: diags, Stale: stale}, nil
+}
+
+// sortDiagnostics orders by file, line, column, and analyzer.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -48,5 +79,4 @@ func Run(cfg *Config, fset *token.FileSet, pkgs []*Package, analyzers []*Analyze
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
 }

@@ -25,12 +25,19 @@ import (
 //     and original lineages; hidden shared state makes its result
 //     depend on scheduling.
 //
+// Interprocedural extension (callgraph.go): a Clone body that routes a
+// slice/map field through a package-local helper whose summary says the
+// result aliases its argument — `dst.F = keep(src.F)` where
+// `func keep(s []T) []T { return s }` — is flagged the same as a direct
+// `dst.F = src.F`.
+//
 // Soundness: the checks are name-driven (Clone, CloneInto, Fingerprint,
-// Digest, Update) and intra-procedural. A Clone that fully delegates to
-// another package copies no fields locally, so check 2 skips it; writes
-// to shared state through method calls (m.Store(...)) or through
-// pointers passed out of Update are not seen. See DESIGN.md, "Static
-// enforcement".
+// Digest, Update) and otherwise intra-procedural. A Clone that fully
+// delegates to another package copies no fields locally, so check 2
+// skips it; writes to shared state through method calls (m.Store(...))
+// or through pointers passed out of Update are not seen; helper
+// aliasing through cross-package or interface calls is invisible. See
+// DESIGN.md, "Static enforcement".
 var StateContract = &Analyzer{
 	Name: "statecontract",
 	Doc:  "checks Clone/CloneInto deep-copy discipline, Fingerprint field coverage, and Update purity of Program/State implementations",
@@ -67,7 +74,7 @@ func runStateContract(p *Pass) error {
 			switch {
 			case strings.HasPrefix(name, "Clone"):
 				// Clone, CloneInto, and deep-copy helpers (CloneCloudInto).
-				checkCloneBody(p, fn, get)
+				checkCloneBody(p, p.summaries(), fn, get)
 			case name == "Fingerprint" || name == "Digest":
 				recordFingerprintReads(p, fn, get)
 			case name == "Update" && fn.Recv != nil:
@@ -92,8 +99,9 @@ func runStateContract(p *Pass) error {
 }
 
 // checkCloneBody records which fields a Clone/CloneInto copies and flags
-// reference-aliasing copies.
-func checkCloneBody(p *Pass, fn *ast.FuncDecl, get func(*types.TypeName) *structFacts) {
+// reference-aliasing copies, both direct (dst.F = src.F) and routed
+// through a package-local aliasing helper (dst.F = keep(src.F)).
+func checkCloneBody(p *Pass, sums *summarySet, fn *ast.FuncDecl, get func(*types.TypeName) *structFacts) {
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
@@ -129,6 +137,7 @@ func checkCloneBody(p *Pass, fn *ast.FuncDecl, get func(*types.TypeName) *struct
 				if refSel, ok := rhs.(*ast.SelectorExpr); ok && structField(p, refSel) != nil && isSliceOrMap(p.TypeOf(refSel)) {
 					p.Reportf(n.Pos(), "Clone aliases %s field %s.%s instead of deep-copying it (use copy/append/maps.Clone); cloned states will share mutable buffers", typeKindName(p.TypeOf(refSel)), exprString(refSel.X), refSel.Sel.Name)
 				}
+				checkAliasingHelperCopy(p, sums, n.Pos(), rhs)
 			}
 		case *ast.CompositeLit:
 			tn, _ := namedStruct(p.TypeOf(n))
@@ -151,10 +160,35 @@ func checkCloneBody(p *Pass, fn *ast.FuncDecl, get func(*types.TypeName) *struct
 				if refSel, ok := v.(*ast.SelectorExpr); ok && structField(p, refSel) != nil && isSliceOrMap(p.TypeOf(refSel)) {
 					p.Reportf(kv.Pos(), "Clone aliases %s field %s.%s instead of deep-copying it (use copy/append/maps.Clone); cloned states will share mutable buffers", typeKindName(p.TypeOf(refSel)), exprString(refSel.X), refSel.Sel.Name)
 				}
+				checkAliasingHelperCopy(p, sums, kv.Pos(), v)
 			}
 		}
 		return true
 	})
+}
+
+// checkAliasingHelperCopy flags a Clone copy whose RHS is a call to a
+// package-local helper that returns an alias of its argument, when that
+// argument is a slice/map struct field — `dst.F = keep(src.F)` aliases
+// exactly like `dst.F = src.F`, and the helper's innocuous look is the
+// point of the check.
+func checkAliasingHelperCopy(p *Pass, sums *summarySet, pos token.Pos, rhs ast.Expr) {
+	call, ok := unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	argIdx, aliases := sums.callAliasesArg(p, call)
+	if !aliases {
+		return
+	}
+	arg := unparen(call.Args[argIdx])
+	refSel, ok := arg.(*ast.SelectorExpr)
+	if !ok || structField(p, refSel) == nil || !isSliceOrMap(p.TypeOf(refSel)) {
+		return
+	}
+	callee := sums.localCallee(p, call)
+	p.Reportf(pos, "Clone aliases %s field %s.%s through helper %s, whose result aliases its argument; deep-copy inside or after the helper",
+		typeKindName(p.TypeOf(refSel)), exprString(refSel.X), refSel.Sel.Name, callee.Name())
 }
 
 // flagAliasedStructFields reports slice/map fields smuggled through a

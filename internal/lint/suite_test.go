@@ -33,6 +33,34 @@ func TestEventOrder(t *testing.T) {
 	RunAnalyzerTest(t, testdataDir("eventorder"), EventOrder, nil)
 }
 
+func TestAtomicProt(t *testing.T) {
+	RunAnalyzerTest(t, testdataDir("atomicprot"), AtomicProt, nil)
+}
+
+func TestHotAlloc(t *testing.T) {
+	// The testdata package is outside every configured hot-path set:
+	// functions opt in with //statslint:hotpath, and the undirected
+	// shapes double as the scoping test.
+	RunAnalyzerTest(t, testdataDir("hotalloc"), HotAlloc, nil)
+}
+
+func TestWireComplete(t *testing.T) {
+	RunAnalyzerTest(t, testdataDir("wirecomplete"), WireComplete, nil)
+}
+
+// TestDetpathInterprocedural pins the summary-driven checks the old
+// intra-procedural suite missed: helpers that return wall-clock-derived
+// values are tracked to their call sites.
+func TestDetpathInterprocedural(t *testing.T) {
+	RunAnalyzerTest(t, testdataDir("detpathinter"), Detpath, everythingCritical())
+}
+
+// TestStateContractInterprocedural does the same for Clone aliasing
+// through helpers whose results alias their arguments.
+func TestStateContractInterprocedural(t *testing.T) {
+	RunAnalyzerTest(t, testdataDir("statecontractinter"), StateContract, nil)
+}
+
 // TestDetpathScope pins down the package scoping: the same testdata
 // package under DefaultConfig (whose prefixes do not cover it) must
 // produce no detpath diagnostics at all — including the ones the want

@@ -1,0 +1,131 @@
+// Package atomicprot exercises the atomicprot analyzer: mixed
+// plain/atomic access, stale CAS-retry loops, and atomic operations on
+// by-value copies, each in flagged and clean form.
+package atomicprot
+
+import "sync/atomic"
+
+// --- flagged shapes ---
+
+// counter's n is accessed with function-style atomics, so every other
+// access must be too.
+type counter struct {
+	n uint64
+}
+
+func (c *counter) Inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *counter) Reset() {
+	c.n = 0 // want `plain access to field "n"`
+}
+
+// hits is a package-level var with the same mixed-access bug.
+var hits uint64
+
+func Record() {
+	atomic.AddUint64(&hits, 1)
+}
+
+func Hits() uint64 {
+	return hits // want `plain access to "hits"`
+}
+
+// bumpStale snapshots the expected value once, outside the loop: a
+// failed CAS retries against the same stale snapshot forever.
+func bumpStale(v *atomic.Uint64) {
+	old := v.Load()
+	for {
+		if v.CompareAndSwap(old, old+1) { // want `CAS retry loop compares against "old"`
+			return
+		}
+	}
+}
+
+// gauge holds a typed atomic, so copying it by value splits the
+// synchronization domain.
+type gauge struct {
+	val atomic.Int64
+}
+
+func (g gauge) Bump() {
+	g.val.Add(1) // want `atomic Add on by-value receiver "g"`
+}
+
+func drain(g gauge) int64 {
+	return g.val.Load() // want `atomic Load on by-value parameter "g"`
+}
+
+func snapshot(p *gauge) int64 {
+	c := *p
+	return c.val.Load() // want `atomic Load on local copy "c"`
+}
+
+// --- clean shapes ---
+
+// newCounter writes plainly before the value is published: constructors
+// are exempt from the mixed-access rule.
+func newCounter(start uint64) *counter {
+	c := &counter{}
+	c.n = start
+	return c
+}
+
+// tcounter uses a typed atomic consistently: nothing to mix.
+type tcounter struct {
+	n atomic.Uint64
+}
+
+func (c *tcounter) Inc() {
+	c.n.Add(1)
+}
+
+func (c *tcounter) Get() uint64 {
+	return c.n.Load()
+}
+
+// bumpFresh reloads the expected value every iteration.
+func bumpFresh(v *atomic.Uint64) {
+	for {
+		old := v.Load()
+		if v.CompareAndSwap(old, old+1) {
+			return
+		}
+	}
+}
+
+// bumpRetry declares the snapshot outside but reassigns it inside the
+// loop, so each retry compares against a fresh value.
+func bumpRetry(v *atomic.Uint64) {
+	old := v.Load()
+	for {
+		if v.CompareAndSwap(old, old+1) {
+			return
+		}
+		old = v.Load()
+	}
+}
+
+const (
+	slotIdle    uint32 = 0
+	slotClaimed uint32 = 1
+)
+
+// claim races on a state transition: constant expected values are not
+// snapshots and cannot go stale.
+func claim(v *atomic.Uint32) bool {
+	for {
+		if v.CompareAndSwap(slotIdle, slotClaimed) {
+			return true
+		}
+		if v.Load() == slotClaimed {
+			return false
+		}
+	}
+}
+
+// bumpShared operates through a pointer: no copy, no violation.
+func bumpShared(p *gauge) {
+	p.val.Add(1)
+}

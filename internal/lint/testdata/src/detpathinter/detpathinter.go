@@ -1,0 +1,77 @@
+// Package detpathinter pins the interprocedural detpath checks: a
+// helper that returns a wall-clock-derived value is tracked through its
+// summary, so laundering time.Now through a local function no longer
+// hides it — while helper results that provably feed only
+// instrumentation stay exempt, exactly like direct reads.
+package detpathinter
+
+import "time"
+
+// Event mirrors the engine's instrumentation record.
+type Event struct {
+	Kind  string
+	Start time.Time
+	Dur   time.Duration
+}
+
+func emit(Event) {}
+
+// now is an instrumentation helper: the allow inside covers the read
+// here, but the summary still marks the result wall-clock-derived, so
+// call sites are judged on their own flow.
+func now() time.Time {
+	return time.Now() //statslint:allow detpath instrumentation helper: call sites are checked for their own flow
+}
+
+// since is the elapsed-time helper shape (time.Time in, Duration out).
+func since(t0 time.Time) time.Duration {
+	return time.Since(t0) //statslint:allow detpath instrumentation helper: call sites are checked for their own flow
+}
+
+// --- flagged shapes ---
+
+// Deadline lets a helper-laundered clock reach a protocol decision.
+func Deadline(limit time.Time) bool {
+	return now().After(limit) // want `call to now returns a wall-clock-derived value`
+}
+
+// Budget spends a helper-computed duration on control flow.
+func Budget(t0 time.Time, max time.Duration) bool {
+	return since(t0) > max // want `call to since returns a wall-clock-derived value`
+}
+
+// Reuse rebinds t0 to a second span: the single-assignment
+// instrumentation-flow proof no longer holds for either span.
+func Reuse(work, more func()) {
+	t0 := now() // want `call to now returns a wall-clock-derived value`
+	work()
+	emit(Event{Kind: "a", Start: t0, Dur: since(t0)})
+	t0 = now() // want `call to now returns a wall-clock-derived value`
+	more()
+	emit(Event{Kind: "b", Start: t0, Dur: since(t0)})
+}
+
+// --- clean shapes ---
+
+// Timed flows the helper results only into the Event literal: the same
+// exemption as direct time.Now/time.Since.
+func Timed(work func()) {
+	t0 := now()
+	work()
+	emit(Event{Kind: "done", Start: t0, Dur: since(t0)})
+}
+
+// Inline lands the helper results directly in the literal.
+func Inline() {
+	emit(Event{Kind: "done", Start: now(), Dur: 0})
+}
+
+// stamp has a time.Time result but never reads the clock: the summary
+// proves it, so call sites are unconstrained.
+func stamp() time.Time {
+	return time.Time{}
+}
+
+func Fixed() bool {
+	return stamp().IsZero()
+}

@@ -1,0 +1,101 @@
+// Package hotalloc exercises the hotalloc analyzer. The package is not
+// in any configured hot-path set, so every hot function opts in with
+// the //statslint:hotpath directive; undirected functions prove the
+// same shapes are ignored off the hot path.
+package hotalloc
+
+func emit(v any)       {}
+func emitAll(v ...any) {}
+
+// --- flagged shapes ---
+
+//statslint:hotpath
+func tagLookup(k string) map[string]int {
+	return map[string]int{k: 1} // want `map literal allocates on the hot path`
+}
+
+//statslint:hotpath
+func pair(a, b int) []int {
+	return []int{a, b} // want `slice literal allocates on the hot path`
+}
+
+//statslint:hotpath
+func growTail(dst []byte, b byte) []byte {
+	return append(dst, b) // want `append on the hot path may grow`
+}
+
+//statslint:hotpath
+func keyString(b []byte) string {
+	return string(b) // want `\[\]byte-to-string conversion copies the bytes`
+}
+
+//statslint:hotpath
+func rawBytes(s string) []byte {
+	return []byte(s) // want `string-to-\[\]byte conversion copies the bytes`
+}
+
+//statslint:hotpath
+func record(v int) {
+	emit(v) // want `passing int to an interface parameter boxes it`
+}
+
+//statslint:hotpath
+func deferredBump(n *int) {
+	defer func() { // want `closure captures n and escapes on the hot path`
+		*n++
+	}()
+}
+
+// --- clean shapes ---
+
+// coldLookup has no directive: identical shapes are fine off the hot
+// path.
+func coldLookup(k string) map[string]int {
+	return map[string]int{k: 1}
+}
+
+// NewTable is a constructor: setup-time allocation is exempt even with
+// the directive.
+//
+//statslint:hotpath
+func NewTable(keys []string) map[string]int {
+	t := map[string]int{}
+	for i, k := range keys {
+		t[k] = i
+	}
+	return t
+}
+
+// fill pre-sizes its destination, so append never grows it.
+//
+//statslint:hotpath
+func fill(src []byte) []byte {
+	out := make([]byte, 0, len(src))
+	for _, b := range src {
+		out = append(out, b)
+	}
+	return out
+}
+
+// inline runs its closure immediately: nothing escapes.
+//
+//statslint:hotpath
+func inline(n int) int {
+	v := func() int { return n * 2 }()
+	return v
+}
+
+// widen converts between concrete scalars: no allocation.
+//
+//statslint:hotpath
+func widen(v int32) int64 {
+	return int64(v)
+}
+
+// fan spreads an existing []any: the ellipsis call passes the slice
+// through without boxing each element.
+//
+//statslint:hotpath
+func fan(vs []any) {
+	emitAll(vs...)
+}

@@ -1,0 +1,29 @@
+// Package stalecheck exercises the suppression-staleness audit: one
+// directive that earns its keep, one scoped directive that suppresses
+// nothing, and one unscoped directive that is only assessable when the
+// full suite runs.
+package stalecheck
+
+import "time"
+
+// overBudget carries a live suppression: the wall-clock read on its
+// return line is a real detpath finding.
+func overBudget(start time.Time, budget time.Duration) bool {
+	return time.Since(start) > budget //statslint:allow detpath test fixture: the budget check is intentionally wall-clock
+}
+
+// add carries a scoped directive with nothing left to suppress.
+//
+//statslint:allow detpath nothing nondeterministic left on this line
+func add(a, b int) int {
+	return a + b
+}
+
+// mul carries an unscoped directive: with only part of the suite
+// running, "unused" could just mean "not checked", so it must not be
+// reported stale.
+//
+//statslint:allow blanket waiver kept for the partial-run test
+func mul(a, b int) int {
+	return a * b
+}

@@ -1,0 +1,101 @@
+// Package statecontractinter pins the interprocedural statecontract
+// checks: a Clone that copies a reference field through a helper whose
+// result aliases its argument is still an aliasing Clone — including
+// through reslices and helper chains — while genuine deep-copy helpers
+// stay clean.
+package statecontractinter
+
+// keep returns its argument unchanged: the alias hides one call deep.
+func keep(b []byte) []byte { return b }
+
+// keepMap does the same for maps.
+func keepMap(m map[string]int) map[string]int { return m }
+
+// window returns a reslice of its argument: still the same backing
+// array.
+func window(b []byte) []byte { return b[:len(b):len(b)] }
+
+// chain launders the alias through two helpers: the summary fixpoint
+// follows it.
+func chain(b []byte) []byte { return keep(b) }
+
+// dup deep-copies: its result shares nothing with the argument.
+func dup(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// id passes a scalar through: ints cannot alias.
+func id(n int) int { return n }
+
+// --- flagged shapes ---
+
+type BadState struct {
+	Buf []byte
+	N   int
+}
+
+func (s *BadState) Clone() *BadState {
+	return &BadState{
+		Buf: keep(s.Buf), // want `aliases slice field s\.Buf through helper keep`
+		N:   s.N,
+	}
+}
+
+type WinState struct {
+	Buf []byte
+}
+
+func (s *WinState) CloneInto(dst *WinState) {
+	dst.Buf = window(s.Buf) // want `aliases slice field s\.Buf through helper window`
+}
+
+type ChainState struct {
+	Buf []byte
+}
+
+func (s *ChainState) Clone() *ChainState {
+	c := &ChainState{}
+	c.Buf = chain(s.Buf) // want `aliases slice field s\.Buf through helper chain`
+	return c
+}
+
+type MapState struct {
+	Tags map[string]int
+}
+
+func (s *MapState) Clone() *MapState {
+	return &MapState{
+		Tags: keepMap(s.Tags), // want `aliases map field s\.Tags through helper keepMap`
+	}
+}
+
+// --- clean shapes ---
+
+type GoodState struct {
+	Buf []byte
+	N   int
+}
+
+func (s *GoodState) Clone() *GoodState {
+	return &GoodState{Buf: dup(s.Buf), N: s.N}
+}
+
+type CopyState struct {
+	Buf []byte
+}
+
+func (s *CopyState) Clone() *CopyState {
+	c := &CopyState{Buf: make([]byte, len(s.Buf))}
+	copy(c.Buf, s.Buf)
+	return c
+}
+
+type ScalarState struct {
+	N int
+}
+
+func (s *ScalarState) Clone() *ScalarState {
+	return &ScalarState{N: id(s.N)}
+}

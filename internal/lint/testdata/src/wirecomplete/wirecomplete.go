@@ -1,0 +1,89 @@
+// Package wirecomplete exercises the wirecomplete analyzer: state
+// fields the codec drops on the encode path, the decode path, or both,
+// plus the covered and allow-waived shapes.
+package wirecomplete
+
+// state is the benchmark state struct, named by the EncodeState type
+// assertion below.
+type state struct {
+	Vals []float64
+	N    int
+	Gen  uint32
+	Head int
+	Buf  [4]byte
+	Skew float64 // want `field state\.Skew is not carried by the wire codec`
+	Tag  string  // want `field state\.Tag is not read by the wire codec encode path`
+	Cost int     // want `field state\.Cost is not rebuilt by the wire codec decode path`
+	//statslint:allow wirecomplete derived cache keyed by input history; decode rebuilds it lazily on first use
+	cache map[string]int
+}
+
+// wire is the serialized form.
+type wire struct {
+	Vals []float64
+	N    int
+	Gen  uint32
+	Head int
+	Buf  [4]byte
+	Cost int
+	Tag  string
+}
+
+type codec struct{}
+
+// EncodeState reads Vals, N, Gen, and Cost directly and Head through a
+// helper; Tag, Skew, and cache are never read.
+func (codec) EncodeState(stv any) wire {
+	st := stv.(*state)
+	return wire{
+		Vals: st.Vals,
+		N:    st.N,
+		Gen:  st.Gen,
+		Head: packHead(st),
+		Buf:  st.Buf,
+		Cost: st.Cost,
+	}
+}
+
+// packHead is one call away from the encode root: the call-graph walk
+// must still count its read of st.Head.
+func packHead(st *state) int {
+	return st.Head
+}
+
+// DecodeState rebuilds Vals, N, Gen, Head, Tag, and Buf (the latter via
+// copy); Cost, Skew, and cache are never written.
+func (codec) DecodeState(w wire) any {
+	st := &state{}
+	st.Vals = append(st.Vals, w.Vals...)
+	st.N = w.N
+	st.Gen = w.Gen
+	unpackHead(st, w)
+	copy(st.Buf[:], w.Buf[:])
+	st.Tag = w.Tag
+	return st
+}
+
+func unpackHead(st *state, w wire) {
+	st.Head = w.Head
+}
+
+// cloud uses the Wire/Live convention: the Wire receiver names the
+// state struct, Live's positional literal covers every field.
+type cloud struct {
+	P []float64
+	W []float64
+}
+
+type wireCloud struct {
+	P []float64
+	W []float64
+}
+
+func (c *cloud) Wire() wireCloud {
+	return wireCloud{P: c.P, W: c.W}
+}
+
+func (w wireCloud) Live() *cloud {
+	return &cloud{w.P, w.W}
+}
